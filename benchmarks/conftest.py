@@ -1,0 +1,67 @@
+"""Shared world for the benchmark harness.
+
+Benchmarks measure the pipeline stages that regenerate each paper
+table/figure.  The world is built once per session; each benchmark
+times only its own stage.  Scales are kept small enough that the whole
+harness runs in a couple of minutes while still exercising real data
+volumes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bgp.synth import SnapshotFactory
+from repro.core.clustering import cluster_log
+from repro.simnet.dns import SimulatedDns
+from repro.simnet.topology import TopologyConfig, generate_topology
+from repro.simnet.traceroute import SimulatedTraceroute
+from repro.weblog.presets import make_log
+
+BENCH_SEED = 90210
+BENCH_SCALE = 0.15
+
+
+@pytest.fixture(scope="session")
+def topology():
+    return generate_topology(TopologyConfig(seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def factory(topology):
+    return SnapshotFactory(topology)
+
+
+@pytest.fixture(scope="session")
+def merged_table(factory):
+    return factory.merged()
+
+
+@pytest.fixture(scope="session")
+def dns(topology):
+    return SimulatedDns(topology)
+
+
+@pytest.fixture(scope="session")
+def traceroute(topology, dns):
+    return SimulatedTraceroute(topology, dns)
+
+
+@pytest.fixture(scope="session")
+def nagano(topology):
+    return make_log(topology, "nagano", scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def sun(topology):
+    return make_log(topology, "sun", scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def nagano_clusters(nagano, merged_table):
+    return cluster_log(nagano.log, merged_table)

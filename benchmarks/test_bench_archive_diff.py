@@ -1,0 +1,50 @@
+"""Benchmarks: snapshot archive I/O and routing-table diffing."""
+
+from repro.bgp.archive import SnapshotArchive, load_snapshot, save_snapshot
+from repro.bgp.diff import churn_series, diff_tables
+from repro.bgp.sources import source_by_name
+from repro.bgp.synth import SnapshotTime
+
+
+def test_archive_collect_one_day(benchmark, factory, tmp_path_factory):
+    root = tmp_path_factory.mktemp("dumps")
+
+    def collect():
+        archive = SnapshotArchive(root / "run")
+        return archive.collect(factory, SnapshotTime(0))
+
+    entries = benchmark(collect)
+    assert len(entries) == 14
+
+
+def test_archive_round_trip_largest_table(benchmark, factory, tmp_path_factory):
+    table = factory.snapshot(source_by_name("ARIN"))
+    path = tmp_path_factory.mktemp("dump") / "arin.dump"
+
+    def round_trip():
+        save_snapshot(table, path)
+        return load_snapshot(path)
+
+    loaded = benchmark(round_trip)
+    assert loaded.prefix_set() == table.prefix_set()
+
+
+def test_diff_consecutive_days(benchmark, factory):
+    source = source_by_name("OREGON")
+    old = factory.snapshot(source, SnapshotTime(0))
+    new = factory.snapshot(source, SnapshotTime(1))
+
+    diff = benchmark(diff_tables, old, new)
+    total = diff.unchanged_count + diff.total_touched
+    assert diff.churned / total < 0.1  # §3.4 stability at diff level
+
+
+def test_churn_series_week(benchmark, factory):
+    source = source_by_name("AADS")
+    snapshots = [
+        factory.snapshot(source, SnapshotTime(day)) for day in range(8)
+    ]
+
+    series = benchmark(churn_series, snapshots)
+    assert len(series) == 7
+    assert all(diff.unchanged_count > 0 for diff in series)

@@ -1,0 +1,33 @@
+"""Ablation benchmark: co-operative vs isolated proxy clusters (§4.1.4)."""
+
+import pytest
+
+from repro.cache.cooperative import CooperativeSimulator
+from repro.core.placement import plan_placement
+from repro.simnet.geo import GeoModel
+
+
+@pytest.fixture(scope="module")
+def simulator(nagano, nagano_clusters, topology):
+    plan = plan_placement(nagano_clusters, topology, GeoModel(topology))
+    return CooperativeSimulator.from_placement(
+        nagano.log, nagano.catalog, nagano_clusters, plan
+    )
+
+
+def test_cooperative_replay(benchmark, simulator):
+    result = benchmark(simulator.run, 1_000_000, 3600.0, True)
+    assert result.sibling_hits > 0
+    assert 0.0 < result.hit_ratio < 1.0
+
+
+def test_cooperation_gain_is_nonnegative(benchmark, simulator):
+    def both():
+        return (
+            simulator.run(cache_bytes=1_000_000, cooperate=True),
+            simulator.run(cache_bytes=1_000_000, cooperate=False),
+        )
+
+    with_coop, without = benchmark(both)
+    # §4.1.4's point: co-operation only adds hit opportunities.
+    assert with_coop.hit_ratio >= without.hit_ratio - 1e-9

@@ -1,0 +1,38 @@
+"""Benchmark: Figure 1 — prefix-length histogram of a NAP snapshot.
+
+Regenerates the MAE-WEST prefix-length distribution and asserts the
+paper's shape: ~50 % /24, far more short-than-24 than long.
+"""
+
+from repro.bgp.sources import source_by_name
+from repro.bgp.synth import SnapshotTime
+
+
+def test_fig1_prefix_length_histogram(benchmark, factory):
+    source = source_by_name("MAE-WEST")
+
+    def regenerate():
+        snapshot = factory.snapshot(source, SnapshotTime(0))
+        return snapshot.prefix_length_histogram()
+
+    histogram = benchmark(regenerate)
+    total = sum(histogram.values())
+    assert 0.35 < histogram.get(24, 0) / total < 0.75
+    shorter = sum(c for length, c in histogram.items() if length < 24)
+    longer = sum(c for length, c in histogram.items() if length > 24)
+    assert shorter > longer
+
+
+def test_fig1_four_day_stability(benchmark, factory):
+    source = source_by_name("MAE-WEST")
+
+    def four_days():
+        return [
+            factory.snapshot(source, SnapshotTime(day)).prefix_length_histogram()
+            for day in range(4)
+        ]
+
+    histograms = benchmark(four_days)
+    sizes = [sum(h.values()) for h in histograms]
+    # Day-to-day sizes nearly constant (paper Figure 1(b)).
+    assert max(sizes) - min(sizes) < 0.05 * max(sizes)

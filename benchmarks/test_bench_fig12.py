@@ -1,0 +1,44 @@
+"""Benchmark: Figure 12 — per-proxy performance with infinite caches."""
+
+from repro.cache.simulator import CachingSimulator
+from repro.core.clustering import METHOD_SIMPLE, cluster_log
+
+
+def test_fig12_infinite_cache_top_clusters(benchmark, nagano, merged_table):
+    aware = cluster_log(nagano.log, merged_table)
+    simulator = CachingSimulator(
+        nagano.log, nagano.catalog, aware, min_url_accesses=10
+    )
+
+    def run_infinite():
+        return simulator.run(cache_bytes=None)
+
+    result = benchmark(run_infinite)
+    top = result.top_proxies(100)
+    assert top
+    requests = [p.stats.requests for p in top]
+    assert requests == sorted(requests, reverse=True)
+    assert all(0.0 <= p.hit_ratio <= 1.0 for p in top)
+
+
+def test_fig12_aware_top_proxies_busier_than_simple(
+    benchmark, nagano, merged_table
+):
+    aware = cluster_log(nagano.log, merged_table)
+    simple = cluster_log(nagano.log, method=METHOD_SIMPLE)
+
+    def both():
+        r_aware = CachingSimulator(
+            nagano.log, nagano.catalog, aware, min_url_accesses=10
+        ).run(cache_bytes=None)
+        r_simple = CachingSimulator(
+            nagano.log, nagano.catalog, simple, min_url_accesses=10
+        ).run(cache_bytes=None)
+        return r_aware, r_simple
+
+    r_aware, r_simple = benchmark(both)
+    # Network-aware concentrates traffic onto fewer, busier proxies.
+    assert len(r_aware.proxies) < len(r_simple.proxies)
+    mean_aware = r_aware.total_requests / max(1, len(r_aware.proxies))
+    mean_simple = r_simple.total_requests / max(1, len(r_simple.proxies))
+    assert mean_aware > mean_simple

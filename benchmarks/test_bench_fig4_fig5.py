@@ -1,0 +1,23 @@
+"""Benchmark: Figures 4/5 — aligned cluster distribution series."""
+
+from repro.core.metrics import distributions
+
+
+def test_fig4_reverse_order_of_clients(benchmark, nagano_clusters):
+    dist = benchmark(distributions, nagano_clusters, "clients")
+    assert list(dist.clients) == sorted(dist.clients, reverse=True)
+    assert len(dist.clients) == len(dist.requests) == len(dist.unique_urls)
+
+
+def test_fig5_reverse_order_of_requests(benchmark, nagano_clusters):
+    dist = benchmark(distributions, nagano_clusters, "requests")
+    assert list(dist.requests) == sorted(dist.requests, reverse=True)
+    # Paper: requests more heavy-tailed than clients — compare by
+    # coefficient of variation, which is robust at reduced scale.
+    assert _cv(dist.requests) > _cv(dist.clients)
+
+
+def _cv(values):
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return (variance ** 0.5) / mean if mean else 0.0

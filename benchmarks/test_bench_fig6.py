@@ -1,0 +1,31 @@
+"""Benchmark: Figure 6 — clustering all four server logs."""
+
+from repro.core.clustering import cluster_log
+from repro.weblog.presets import make_log
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+_LOGS = ("apache", "ew3", "nagano", "sun")
+
+
+def test_fig6_cluster_four_logs(benchmark, topology, merged_table):
+    logs = {
+        name: make_log(topology, name, scale=BENCH_SCALE * 0.5, seed=BENCH_SEED)
+        for name in _LOGS
+    }
+
+    def cluster_all():
+        return {
+            name: cluster_log(synthetic.log, merged_table)
+            for name, synthetic in logs.items()
+        }
+
+    results = benchmark(cluster_all)
+    for name in _LOGS:
+        assert results[name].clustered_fraction > 0.99
+        sizes = sorted(
+            (c.requests for c in results[name].clusters), reverse=True
+        )
+        # Heavy-tailed in every log (Figure 6's point).
+        top = max(1, len(sizes) // 10)
+        assert sum(sizes[:top]) > 0.3 * sum(sizes)

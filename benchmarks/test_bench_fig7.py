@@ -1,0 +1,21 @@
+"""Benchmark: Figure 7 — network-aware vs simple clustering."""
+
+from repro.core.clustering import METHOD_SIMPLE, cluster_log
+from repro.core.metrics import summary
+
+
+def test_fig7_network_aware_clustering(benchmark, nagano, merged_table):
+    result = benchmark(cluster_log, nagano.log, merged_table)
+    assert result.clustered_fraction > 0.99
+
+
+def test_fig7_simple_clustering(benchmark, nagano, merged_table):
+    simple = benchmark(cluster_log, nagano.log, None, METHOD_SIMPLE)
+    aware = cluster_log(nagano.log, merged_table)
+    s_simple, s_aware = summary(simple), summary(aware)
+    # Figure 7's claims.
+    assert s_simple.num_clusters > s_aware.num_clusters
+    assert s_aware.max_clients >= s_simple.max_clients
+    assert s_simple.mean_clients < s_aware.mean_clients
+    assert s_simple.variance_clients < s_aware.variance_clients
+    assert s_simple.max_clients <= 256  # /24 cap

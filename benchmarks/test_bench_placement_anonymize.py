@@ -1,0 +1,44 @@
+"""Benchmarks: placement planning, AS-graph mining, anonymization."""
+
+from repro.bgp.aspath import build_as_graph
+from repro.bgp.sources import source_by_name
+from repro.core.placement import evaluate_latency, plan_placement
+from repro.simnet.geo import GeoModel
+from repro.weblog.anonymize import PrefixPreservingAnonymizer
+
+
+def test_placement_plan_and_score(benchmark, nagano_clusters, topology):
+    geo = GeoModel(topology)
+    origin_asn = next(
+        asn for asn, a_s in topology.ases.items() if a_s.kind == "backbone"
+    )
+
+    def plan_and_score():
+        plan = plan_placement(nagano_clusters, topology, geo)
+        return plan, evaluate_latency(plan, topology, geo, origin_asn)
+
+    plan, report = benchmark(plan_and_score)
+    assert len(plan) < len(nagano_clusters)
+    # §1's motivation: placement must beat the single origin.
+    assert report.reduction > 0.3
+
+
+def test_as_graph_from_all_bgp_sources(benchmark, factory):
+    tables = [
+        factory.snapshot(source)
+        for source in factory.sources
+        if source.kind == "bgp"
+    ]
+
+    graph = benchmark(build_as_graph, tables)
+    assert len(graph) > 10
+    hub_asn, hub_degree = graph.hubs(1)[0]
+    assert hub_degree >= 2
+
+
+def test_anonymize_log_throughput(benchmark, nagano):
+    anonymizer = PrefixPreservingAnonymizer(key=42)
+
+    anonymized = benchmark(anonymizer.anonymize_log, nagano.log)
+    assert len(anonymized) == len(nagano.log)
+    assert anonymized.num_clients() == nagano.log.num_clients()

@@ -1,0 +1,33 @@
+"""Ablation benchmark: uniform vs demand-proportional cache budgets
+(§4.1.4's 'assign proxies based on metrics')."""
+
+from repro.cache.simulator import CachingSimulator, provision_caches
+
+
+def test_provisioning_metrics_at_fixed_budget(benchmark, nagano,
+                                              nagano_clusters):
+    simulator = CachingSimulator(
+        nagano.log, nagano.catalog, nagano_clusters, min_url_accesses=10
+    )
+    per_proxy = 300_000
+    total_budget = per_proxy * len(nagano_clusters)
+
+    def run_all():
+        uniform = simulator.run(cache_bytes=per_proxy)
+        results = {"uniform": uniform}
+        for metric in ("requests", "clients", "bytes"):
+            allocation = provision_caches(
+                nagano_clusters, total_budget, metric=metric
+            )
+            results[metric] = simulator.run(
+                cache_bytes=per_proxy, per_cluster_bytes=allocation
+            )
+        return results
+
+    results = benchmark(run_all)
+    uniform = results["uniform"].server_hit_ratio
+    # Spending the same budget where the demand is cannot lose much,
+    # and demand-weighted metrics should match or beat uniform.
+    assert results["requests"].server_hit_ratio >= uniform - 0.02
+    for result in results.values():
+        assert 0.0 < result.server_hit_ratio <= 1.0

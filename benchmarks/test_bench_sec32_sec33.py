@@ -1,0 +1,42 @@
+"""Benchmarks: §3.2.2 coverage and §3.3 optimized-traceroute savings."""
+
+import random
+
+from repro.core.clustering import cluster_log
+
+
+def test_sec32_coverage_with_and_without_registry(
+    benchmark, factory, nagano
+):
+    bgp_only = factory.merged_without_registry()
+    merged = factory.merged()
+
+    def cluster_both():
+        return (
+            cluster_log(nagano.log, merged),
+            cluster_log(nagano.log, bgp_only),
+        )
+
+    full, partial = benchmark(cluster_both)
+    # Registry dumps strictly improve applicability (99% -> 99.9%).
+    assert full.clustered_fraction >= partial.clustered_fraction
+    assert full.clustered_fraction > 0.99
+
+
+def test_sec33_optimized_traceroute_savings(benchmark, topology, traceroute):
+    rng = random.Random(33)
+    hosts = [
+        topology.hosts_in_leaf(leaf, 1, rng)[0]
+        for leaf in rng.sample(topology.leaf_networks, 300)
+    ]
+
+    def probe_both_ways():
+        _, optimized = traceroute.probe_batch(hosts, optimized=True)
+        _, classic = traceroute.probe_batch(hosts, optimized=False)
+        return optimized, classic
+
+    optimized, classic = benchmark(probe_both_ways)
+    probe_saving, wait_saving = optimized.savings_vs(classic)
+    # Paper: ~90% probes and ~80% waiting time saved.
+    assert probe_saving > 0.7
+    assert wait_saving > 0.7

@@ -1,0 +1,39 @@
+"""Benchmarks: §3.5 self-correction and §3.6 server/network clusters."""
+
+from repro.core.netclusters import cluster_networks
+from repro.core.selfcorrect import SelfCorrector
+from repro.core.servercluster import cluster_servers
+from repro.weblog.presets import make_log
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_sec35_self_correction_pass(benchmark, nagano_clusters, traceroute):
+    def correct():
+        corrector = SelfCorrector(traceroute, samples_per_cluster=3, seed=35)
+        return corrector.correct(nagano_clusters)
+
+    corrected, report = benchmark(correct)
+    assert corrected.unclustered_clients == []
+    assert report.clusters_after > 0
+
+
+def test_sec36_server_clustering(benchmark, topology, merged_table):
+    synthetic = make_log(topology, "isp", scale=BENCH_SCALE, seed=BENCH_SEED)
+
+    def cluster():
+        return cluster_servers(synthetic.log, merged_table)
+
+    report = benchmark(cluster)
+    # Paper: ~0.2% unclusterable; a small minority of clusters receives
+    # 70% of requests.
+    assert report.unclusterable_fraction < 0.01
+    assert report.top_cluster_share(0.70) < 0.5
+
+
+def test_sec36_network_clusters(benchmark, nagano_clusters, traceroute):
+    def second_level():
+        return cluster_networks(nagano_clusters, traceroute, level=2)
+
+    grouped = benchmark(second_level)
+    assert 0 < len(grouped) < len(nagano_clusters)

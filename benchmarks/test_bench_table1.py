@@ -1,0 +1,32 @@
+"""Benchmark: Table 1 — collecting and merging all fourteen sources."""
+
+from repro.bgp.synth import SnapshotFactory, SnapshotTime
+from repro.bgp.table import MergedPrefixTable
+
+
+def test_table1_snapshot_all_sources(benchmark, topology):
+    factory = SnapshotFactory(topology)
+
+    def collect():
+        return factory.snapshots_all_sources(SnapshotTime(0))
+
+    snapshots = benchmark(collect)
+    assert len(snapshots) == 14
+    sizes = {s.name: len(s) for s in snapshots}
+    # Table 1's relative ordering.
+    assert sizes["ARIN"] == max(sizes.values())
+    assert sizes["OREGON"] == max(
+        size for name, size in sizes.items()
+        if name not in ("ARIN", "NLANR", "AT&T-Forw")
+    )
+    assert sizes["CANET"] < 0.1 * sizes["OREGON"]
+
+
+def test_table1_merge_into_prefix_table(benchmark, factory):
+    snapshots = factory.snapshots_all_sources()
+
+    def merge():
+        return MergedPrefixTable.from_tables(snapshots)
+
+    merged = benchmark(merge)
+    assert len(merged) > max(len(s) for s in snapshots)

@@ -1,0 +1,34 @@
+"""Benchmark: Table 3 — nslookup and traceroute validation passes."""
+
+import random
+
+from repro.core.validation import (
+    nslookup_validate,
+    sample_clusters,
+    traceroute_validate,
+)
+
+
+def test_table3_nslookup_validation(benchmark, nagano_clusters, dns, topology):
+    sample = sample_clusters(nagano_clusters, 0.2, random.Random(1), minimum=40)
+
+    def validate():
+        return nslookup_validate(sample, dns, topology)
+
+    report = benchmark(validate)
+    assert report.pass_rate > 0.8
+    # ~half the clients resolve (paper: ~50%).
+    assert 0.2 < report.reachable_clients / max(1, report.sampled_clients) < 0.9
+
+
+def test_table3_traceroute_validation(
+    benchmark, nagano_clusters, traceroute, topology
+):
+    sample = sample_clusters(nagano_clusters, 0.2, random.Random(2), minimum=40)
+
+    def validate():
+        return traceroute_validate(sample, traceroute, topology)
+
+    report = benchmark(validate)
+    assert report.pass_rate > 0.8
+    assert report.reachable_clients == report.sampled_clients  # 100% reach

@@ -1,0 +1,22 @@
+"""Benchmark: Table 4 — BGP dynamics over 0/1/4/7/14-day periods."""
+
+from repro.bgp.dynamics import study_dynamics
+from repro.bgp.sources import source_by_name
+
+
+def test_table4_dynamics_study(benchmark, factory, nagano_clusters):
+    source = source_by_name("AADS")
+
+    def study():
+        return study_dynamics(factory, source, periods=(0, 1, 4, 7, 14))
+
+    report = benchmark(study)
+    effects = [e.maximum_effect for e in report.periods]
+    assert effects == sorted(effects)            # grows with period
+    assert report.periods[-1].dynamic_fraction < 0.15
+
+    # Projected onto the log's clusters: < ~3% affected (paper claim).
+    prefixes = [c.identifier for c in nagano_clusters.clusters]
+    rows = report.effect_on_prefixes(prefixes)
+    worst = max(dynamic for _, _, dynamic in rows)
+    assert worst < 0.05 * len(nagano_clusters)

@@ -1,0 +1,22 @@
+"""Benchmark: Table 5 — busy-cluster thresholding, both approaches."""
+
+from repro.core.clustering import METHOD_SIMPLE, cluster_log
+from repro.core.threshold import threshold_busy_clusters
+
+
+def test_table5_thresholding(benchmark, nagano, merged_table):
+    aware = cluster_log(nagano.log, merged_table)
+    simple = cluster_log(nagano.log, method=METHOD_SIMPLE)
+
+    def threshold_both():
+        return (
+            threshold_busy_clusters(aware),
+            threshold_busy_clusters(simple),
+        )
+
+    t_aware, t_simple = benchmark(threshold_both)
+    # Table 5's shape: simple needs more clusters and a lower threshold
+    # to cover the same 70% of requests.
+    assert len(t_simple.busy) > len(t_aware.busy)
+    assert t_aware.threshold_requests >= t_simple.threshold_requests
+    assert t_aware.busy_requests >= 0.7 * aware.total_requests

@@ -1,0 +1,58 @@
+"""Ablation benchmark: TTL sensitivity of the caching simulation.
+
+§4.1.5: "We set ttl to be 1 hour ... Varying ttl to 5, 10, and 15
+minutes yields similar results."  This ablation replays the same trace
+at four TTLs and checks the hit ratios stay in one band.
+"""
+
+import pytest
+
+from repro.cache.simulator import CachingSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator(nagano, nagano_clusters):
+    return CachingSimulator(
+        nagano.log, nagano.catalog, nagano_clusters, min_url_accesses=10
+    )
+
+
+def test_ttl_sweep_yields_similar_results(benchmark, simulator):
+    ttls = (300.0, 600.0, 900.0, 3600.0)  # 5/10/15 min, 1 h
+
+    def sweep():
+        return [
+            simulator.run(cache_bytes=5_000_000, ttl_seconds=ttl)
+            for ttl in ttls
+        ]
+
+    results = benchmark(sweep)
+    ratios = [r.server_hit_ratio for r in results]
+    # "Similar results": the whole band spans only a few points.
+    assert max(ratios) - min(ratios) < 0.12
+    # Longer TTL can only help (fewer validations/refetches).
+    assert ratios[-1] >= ratios[0] - 0.01
+
+
+def test_piggyback_validation_contributes(benchmark, simulator):
+    """PCV ablation: with piggybacking disabled, expired resources cost
+    If-Modified-Since round trips instead of free renewals."""
+
+    def run_both():
+        with_pcv = simulator.run(cache_bytes=5_000_000, piggyback_limit=10)
+        without = simulator.run(cache_bytes=5_000_000, piggyback_limit=0)
+        return with_pcv, without
+
+    with_pcv, without = benchmark(run_both)
+    pcv_renewals = sum(
+        p.stats.piggyback_renewals for p in with_pcv.proxies
+    )
+    assert pcv_renewals > 0
+    no_pcv_renewals = sum(
+        p.stats.piggyback_renewals for p in without.proxies
+    )
+    assert no_pcv_renewals == 0
+    # Hit ratios stay comparable; PCV's win is fewer origin validations.
+    with_validations = sum(p.stats.validation_hits for p in with_pcv.proxies)
+    without_validations = sum(p.stats.validation_hits for p in without.proxies)
+    assert with_validations <= without_validations

@@ -1,0 +1,11 @@
+"""Ensure the in-tree package is importable when running pytest from the
+repository root, even without an installed distribution (this
+environment has no network, so ``pip install -e .`` cannot fetch the
+``wheel`` build dependency; a ``.pth`` file or this shim stands in)."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

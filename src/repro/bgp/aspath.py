@@ -1,0 +1,107 @@
+"""AS-path analysis over routing snapshots.
+
+§3.1.1: "The AS number and path information can also provide hints on
+the geographical location of clients."  This module mines the AS paths
+the snapshots already carry:
+
+* :class:`AsGraph` — the AS-level adjacency graph induced by the paths
+  (each consecutive ASN pair on a path is an edge), with BFS distances;
+* :func:`path_length_histogram` — how long the observed paths are;
+* :func:`as_distance_matrix` — hop distances from one AS to all others,
+  an observable "closeness" signal that needs no probing and no
+  geographic database — an alternative grouping key to
+  :mod:`repro.core.placement`'s geography.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.bgp.table import RoutingTable
+
+__all__ = ["AsGraph", "build_as_graph", "path_length_histogram"]
+
+
+@dataclass
+class AsGraph:
+    """Undirected AS adjacency graph mined from AS paths."""
+
+    adjacency: Dict[int, Set[int]] = field(default_factory=dict)
+    edge_observations: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.adjacency)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.adjacency
+
+    def add_path(self, as_path: Tuple[int, ...]) -> None:
+        """Record one observed AS path."""
+        for asn in as_path:
+            self.adjacency.setdefault(asn, set())
+        for left, right in zip(as_path, as_path[1:]):
+            if left == right:
+                continue  # prepending produces repeats; not an edge
+            self.adjacency[left].add(right)
+            self.adjacency[right].add(left)
+            key = (min(left, right), max(left, right))
+            self.edge_observations[key] = self.edge_observations.get(key, 0) + 1
+
+    def neighbors(self, asn: int) -> Set[int]:
+        return self.adjacency.get(asn, set())
+
+    def degree(self, asn: int) -> int:
+        return len(self.neighbors(asn))
+
+    def distances_from(self, origin: int) -> Dict[int, int]:
+        """BFS hop distances from ``origin`` to every reachable AS."""
+        if origin not in self.adjacency:
+            return {}
+        distances = {origin: 0}
+        queue = deque([origin])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.adjacency[current]:
+                if neighbor not in distances:
+                    distances[neighbor] = distances[current] + 1
+                    queue.append(neighbor)
+        return distances
+
+    def distance(self, a: int, b: int) -> Optional[int]:
+        """Hop distance between two ASes (None when disconnected)."""
+        if a == b:
+            return 0 if a in self.adjacency else None
+        distances = self.distances_from(a)
+        return distances.get(b)
+
+    def hubs(self, count: int = 5) -> List[Tuple[int, int]]:
+        """Highest-degree ASes — the transit backbone the paths share."""
+        ordered = sorted(
+            ((asn, self.degree(asn)) for asn in self.adjacency),
+            key=lambda item: -item[1],
+        )
+        return ordered[:count]
+
+
+def build_as_graph(tables: Iterable[RoutingTable]) -> AsGraph:
+    """Mine the AS graph from every path in ``tables``."""
+    graph = AsGraph()
+    for table in tables:
+        for entry in table:
+            if entry.as_path:
+                graph.add_path(entry.as_path)
+    return graph
+
+
+def path_length_histogram(tables: Iterable[RoutingTable]) -> Dict[int, int]:
+    """Histogram of observed AS-path lengths (unique-ASN count)."""
+    histogram: Dict[int, int] = {}
+    for table in tables:
+        for entry in table:
+            if not entry.as_path:
+                continue
+            length = len(dict.fromkeys(entry.as_path))  # dedupe prepends
+            histogram[length] = histogram.get(length, 0) + 1
+    return histogram

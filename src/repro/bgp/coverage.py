@@ -1,0 +1,84 @@
+"""Address-space coverage analysis.
+
+§3.1.2: "some routing tables have a better view of network routes than
+others ... and none of them contain complete information of all the
+prefixes and netmasks (not all routes are visible to each router)."
+This module quantifies that, in *addresses* rather than entry counts,
+using :class:`~repro.net.prefixset.PrefixSet` algebra:
+
+* how much of the ground-truth allocated space one snapshot covers;
+* how much each additional source adds to the union (the marginal
+  value of collecting one more table — why the paper merged fourteen);
+* which allocated space remains invisible (the clients that need the
+  registry dumps or self-correction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.bgp.table import RoutingTable
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+
+__all__ = ["CoverageReport", "coverage_of", "marginal_coverage"]
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Coverage of one prefix collection against a reference space."""
+
+    covered: PrefixSet
+    reference: PrefixSet
+
+    @property
+    def covered_addresses(self) -> int:
+        return self.covered.intersection(self.reference).num_addresses
+
+    @property
+    def fraction(self) -> float:
+        total = self.reference.num_addresses
+        if total == 0:
+            return 1.0
+        return self.covered_addresses / total
+
+    @property
+    def uncovered(self) -> PrefixSet:
+        """Reference space no prefix covers (unclusterable territory)."""
+        return self.reference - self.covered
+
+    def describe(self) -> str:
+        return (
+            f"{self.fraction:.1%} of {self.reference.num_addresses:,} "
+            f"reference addresses covered; "
+            f"{self.uncovered.num_addresses:,} uncovered"
+        )
+
+
+def coverage_of(
+    prefixes: Iterable[Prefix],
+    reference: PrefixSet,
+) -> CoverageReport:
+    """How much of ``reference`` the given prefixes cover."""
+    return CoverageReport(covered=PrefixSet(prefixes), reference=reference)
+
+
+def marginal_coverage(
+    tables: Sequence[RoutingTable],
+    reference: PrefixSet,
+) -> List[Tuple[str, float, float]]:
+    """Greedy merge order: per table, (name, own fraction, cumulative).
+
+    Tables are merged in the given order; the cumulative column shows
+    the union's coverage growing — the paper's rationale for merging
+    many partial views into one prefix table.
+    """
+    rows: List[Tuple[str, float, float]] = []
+    union = PrefixSet.empty()
+    for table in tables:
+        own = coverage_of(table.prefixes(), reference)
+        union = union | own.covered
+        cumulative = CoverageReport(covered=union, reference=reference)
+        rows.append((table.name, own.fraction, cumulative.fraction))
+    return rows

@@ -1,0 +1,86 @@
+"""Routing-table diffing.
+
+§3.4 measures churn in aggregate (the dynamic prefix set); operators —
+and the self-correction pass — also want to know *which* routes changed
+between two snapshots.  :func:`diff_tables` computes the added,
+withdrawn, and attribute-changed route sets; :func:`churn_series`
+applies it pairwise along a snapshot sequence, giving the per-interval
+view that Table 4's maximum-effect numbers summarise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.bgp.table import RouteEntry, RoutingTable
+from repro.net.prefix import Prefix
+
+__all__ = ["TableDiff", "diff_tables", "churn_series"]
+
+
+@dataclass(frozen=True)
+class TableDiff:
+    """Differences between two snapshots of one source."""
+
+    announced: Tuple[Prefix, ...]        # present only in the newer table
+    withdrawn: Tuple[Prefix, ...]        # present only in the older table
+    changed: Tuple[Prefix, ...]          # same prefix, different attributes
+    unchanged_count: int
+
+    @property
+    def churned(self) -> int:
+        """Prefixes whose presence flipped (the dynamic-set building
+        block of §3.4)."""
+        return len(self.announced) + len(self.withdrawn)
+
+    @property
+    def total_touched(self) -> int:
+        return self.churned + len(self.changed)
+
+    def describe(self) -> str:
+        return (
+            f"+{len(self.announced)} announced, "
+            f"-{len(self.withdrawn)} withdrawn, "
+            f"~{len(self.changed)} re-attributed, "
+            f"{self.unchanged_count} stable"
+        )
+
+
+def _attributes(entry: RouteEntry) -> Tuple[str, Tuple[int, ...]]:
+    return (entry.next_hop, entry.as_path)
+
+
+def diff_tables(old: RoutingTable, new: RoutingTable) -> TableDiff:
+    """Diff two snapshots (typically of the same source, ordered in
+    time, though nothing requires it)."""
+    old_prefixes = old.prefix_set()
+    new_prefixes = new.prefix_set()
+    announced = sorted(new_prefixes - old_prefixes, key=Prefix.sort_key)
+    withdrawn = sorted(old_prefixes - new_prefixes, key=Prefix.sort_key)
+    changed: List[Prefix] = []
+    unchanged = 0
+    for prefix in old_prefixes & new_prefixes:
+        if _attributes(old.get(prefix)) != _attributes(new.get(prefix)):
+            changed.append(prefix)
+        else:
+            unchanged += 1
+    changed.sort(key=Prefix.sort_key)
+    return TableDiff(
+        announced=tuple(announced),
+        withdrawn=tuple(withdrawn),
+        changed=tuple(changed),
+        unchanged_count=unchanged,
+    )
+
+
+def churn_series(snapshots: Sequence[RoutingTable]) -> List[TableDiff]:
+    """Pairwise diffs along a chronological snapshot sequence.
+
+    ``len(snapshots) - 1`` diffs; their union of flipped prefixes is
+    exactly §3.4's dynamic prefix set for the period.
+    """
+    return [
+        diff_tables(earlier, later)
+        for earlier, later in zip(snapshots, snapshots[1:])
+    ]

@@ -1,0 +1,121 @@
+"""BGP dynamics and their effect on clustering (§3.4, Table 4).
+
+The paper measures, per source and per observation period (0, 1, 4, 7,
+14 days):
+
+* the snapshot size (number of prefixes);
+* the *dynamic prefix set* — prefixes not present in every snapshot of
+  the period — whose size is the *maximum effect*;
+* how many of the prefixes actually used by a given log's clusters are
+  dynamic (the effect that matters for clustering), overall and for
+  busy clusters only.
+
+Period 0 is not empty: frequently-updated sources take several
+snapshots per day, so intra-day churn already produces a non-trivial
+dynamic set (Table 4's first column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.sources import SourceSpec
+from repro.bgp.synth import SnapshotFactory, SnapshotTime
+from repro.net.prefix import Prefix
+
+__all__ = ["DynamicsReport", "PeriodEffect", "study_dynamics", "snapshot_times"]
+
+#: Intra-day snapshot slots modelled for sources updated more often
+#: than daily (2-hourly updates -> a handful of useful distinct dumps).
+INTRADAY_SLOTS = 4
+
+
+def snapshot_times(period_days: int, update_hours: float) -> List[SnapshotTime]:
+    """The snapshot times an operator collecting for ``period_days``
+    would hold: all of day 0's slots for sub-daily sources, then one
+    snapshot per following day."""
+    slots = INTRADAY_SLOTS if update_hours < 24.0 else 1
+    times = [SnapshotTime(0, slot) for slot in range(slots)]
+    times.extend(SnapshotTime(day, 0) for day in range(1, period_days + 1))
+    return times
+
+
+@dataclass(frozen=True)
+class PeriodEffect:
+    """Dynamics of one source over one observation period."""
+
+    period_days: int
+    table_size: int              # prefixes in the period's last snapshot
+    union_prefixes: FrozenSet[Prefix]   # prefixes seen at least once
+    dynamic_prefixes: FrozenSet[Prefix]
+
+    @property
+    def union_size(self) -> int:
+        return len(self.union_prefixes)
+
+    @property
+    def maximum_effect(self) -> int:
+        """|union - intersection|: the paper's worst-case churn bound."""
+        return len(self.dynamic_prefixes)
+
+    @property
+    def dynamic_fraction(self) -> float:
+        return self.maximum_effect / self.union_size if self.union_size else 0.0
+
+
+@dataclass
+class DynamicsReport:
+    """Per-period dynamics for one source (one block of Table 4)."""
+
+    source: SourceSpec
+    periods: List[PeriodEffect]
+
+    def effect_on_prefixes(
+        self, used_prefixes: Iterable[Prefix]
+    ) -> List[Tuple[int, int, int]]:
+        """Project dynamics onto a set of cluster prefixes.
+
+        For each period returns ``(period_days, used_in_table,
+        max_effect)`` where ``used_in_table`` counts cluster prefixes
+        present in the period's union and ``max_effect`` counts those
+        that are dynamic — the Table 4 per-log rows.
+        """
+        used = set(used_prefixes)
+        rows: List[Tuple[int, int, int]] = []
+        for effect in self.periods:
+            in_union = sum(1 for p in used if p in effect.union_prefixes)
+            dynamic = len(used & effect.dynamic_prefixes)
+            rows.append((effect.period_days, in_union, dynamic))
+        return rows
+
+
+def study_dynamics(
+    factory: SnapshotFactory,
+    source: SourceSpec,
+    periods: Sequence[int] = (0, 1, 4, 7, 14),
+) -> DynamicsReport:
+    """Measure ``source``'s dynamics over each observation period."""
+    report_periods: List[PeriodEffect] = []
+    for period in periods:
+        times = snapshot_times(period, source.update_hours)
+        prefix_sets: List[FrozenSet[Prefix]] = []
+        last_size = 0
+        for when in times:
+            snapshot = factory.snapshot(source, when)
+            prefix_sets.append(snapshot.prefix_set())
+            last_size = len(snapshot)
+        union: Set[Prefix] = set()
+        for prefixes in prefix_sets:
+            union |= prefixes
+        intersection: Set[Prefix] = set(prefix_sets[0])
+        for prefixes in prefix_sets[1:]:
+            intersection &= prefixes
+        effect = PeriodEffect(
+            period_days=period,
+            table_size=last_size,
+            union_prefixes=frozenset(union),
+            dynamic_prefixes=frozenset(union - intersection),
+        )
+        report_periods.append(effect)
+    return DynamicsReport(source=source, periods=report_periods)

@@ -1,0 +1,96 @@
+"""The collection of routing-table sources (paper Table 1).
+
+Each :class:`SourceSpec` mirrors one row of Table 1: a vantage point
+whose snapshots we synthesise from the ground-truth topology.  The spec
+captures the properties that mattered to the paper:
+
+* ``kind`` — BGP routing table, forwarding table, or registry (IP
+  network) dump; registry dumps are the *secondary* prefix source;
+* ``visibility`` — what fraction of the global announcement set this
+  vantage sees (none of the tables is complete, §3.1.2);
+* ``keeps_specifics`` — NAP route servers filtered prefixes longer
+  than /24, while AT&T's forwarding table retained customer
+  specifics; this is why the merged table's prefix lengths range up
+  to /29 (Table 3) even though public BGP views show almost none;
+* ``filler_blocks`` — registry dumps contain large numbers of
+  registered-but-unrouted networks (§3.1.1: an address registered at
+  ARIN "may not necessarily exist and be a routable host").
+
+Relative table sizes mirror Table 1: the registry dumps are the largest
+collections, OREGON is the biggest BGP view, CANET/VBNS are tiny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.bgp.formats import (
+    FORMAT_CLASSFUL,
+    FORMAT_DOTTED_NETMASK,
+    FORMAT_MASK_LENGTH,
+)
+from repro.bgp.table import KIND_BGP, KIND_FORWARDING, KIND_REGISTRY
+
+__all__ = ["SourceSpec", "DEFAULT_SOURCES", "source_by_name"]
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """One routing-information source (a row of paper Table 1)."""
+
+    name: str
+    kind: str
+    dump_format: str
+    visibility: float
+    keeps_specifics: bool = False
+    filler_blocks: int = 0
+    update_hours: float = 24.0
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.visibility <= 1.0:
+            raise ValueError(f"visibility must be in [0,1]: {self.visibility!r}")
+
+
+#: The paper's fourteen sources.  Visibility values are tuned so that
+#: snapshot sizes keep Table 1's relative ordering at our synthetic
+#: scale (OREGON is the largest BGP view; CANET and VBNS are tiny;
+#: the registry dumps dwarf everything).
+DEFAULT_SOURCES: Sequence[SourceSpec] = (
+    SourceSpec("AADS", KIND_BGP, FORMAT_MASK_LENGTH, 0.24, False, 0, 2.0,
+               "BGP routing table snapshots updated every 2 hours"),
+    SourceSpec("ARIN", KIND_REGISTRY, FORMAT_CLASSFUL, 0.97, False, 12000, 720.0,
+               "IP network dump"),
+    SourceSpec("AT&T-BGP", KIND_BGP, FORMAT_DOTTED_NETMASK, 0.92, False, 0, 24.0,
+               "BGP routing table snapshots"),
+    SourceSpec("AT&T-Forw", KIND_FORWARDING, FORMAT_DOTTED_NETMASK, 0.84,
+               True, 0, 24.0, "BGP forwarding table snapshots"),
+    SourceSpec("CANET", KIND_BGP, FORMAT_MASK_LENGTH, 0.025, False, 0, 0.1,
+               "Real-time BGP routing table snapshots"),
+    SourceSpec("CERFNET", KIND_BGP, FORMAT_MASK_LENGTH, 0.66, False, 0, 0.1,
+               "Real-time BGP routing table snapshots"),
+    SourceSpec("MAE-EAST", KIND_BGP, FORMAT_MASK_LENGTH, 0.60, False, 0, 2.0,
+               "BGP routing table snapshots taken every 2 hours"),
+    SourceSpec("MAE-WEST", KIND_BGP, FORMAT_MASK_LENGTH, 0.42, False, 0, 2.0,
+               "BGP routing table snapshots taken every 2 hours"),
+    SourceSpec("NLANR", KIND_REGISTRY, FORMAT_CLASSFUL, 0.72, False, 8000, 8760.0,
+               "IP network dump"),
+    SourceSpec("OREGON", KIND_BGP, FORMAT_MASK_LENGTH, 0.94, False, 0, 0.1,
+               "Real-time BGP routing table snapshots"),
+    SourceSpec("PACBELL", KIND_BGP, FORMAT_MASK_LENGTH, 0.34, False, 0, 2.0,
+               "BGP routing table snapshots updated every 2 hours"),
+    SourceSpec("PAIX", KIND_BGP, FORMAT_MASK_LENGTH, 0.14, False, 0, 2.0,
+               "BGP routing table snapshots updated every 2 hours"),
+    SourceSpec("SINGAREN", KIND_BGP, FORMAT_MASK_LENGTH, 0.90, False, 0, 0.1,
+               "Real-time BGP routing table snapshots"),
+    SourceSpec("VBNS", KIND_BGP, FORMAT_DOTTED_NETMASK, 0.028, False, 0, 0.5,
+               "BGP routing table snapshots updated every 30 minutes"),
+)
+
+_BY_NAME: Dict[str, SourceSpec] = {spec.name: spec for spec in DEFAULT_SOURCES}
+
+
+def source_by_name(name: str) -> SourceSpec:
+    """Return the default spec named ``name`` (KeyError if unknown)."""
+    return _BY_NAME[name]

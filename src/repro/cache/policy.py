@@ -1,0 +1,147 @@
+"""Proxy cache with TTL expiry and Piggyback Cache Validation (§4.1.5).
+
+The paper's proxies implement the PCV scheme of Krishnamurthy & Wills
+(USITS '97) with a fixed TTL:
+
+* a cached resource is considered fresh for ``ttl`` seconds after it
+  was fetched or last validated;
+* when the proxy contacts the server anyway (a miss), it *piggybacks*
+  validation checks for up to ``piggyback_limit`` expired-but-cached
+  resources on that request; unmodified ones get their TTL renewed for
+  free, modified ones are invalidated;
+* a request for a resource that expired and was never re-validated
+  triggers a ``GET If-Modified-Since``: a 304 renews the copy (counted
+  as a *validation hit* — the body never crossed the network), a 200
+  refetches it.
+
+:class:`ProxyCache` exposes one entry point per client request and
+accumulates the hit/byte counters Figures 11–12 are drawn from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.lru import CacheItem, LruCache
+from repro.cache.server import OriginServer
+
+__all__ = ["ProxyStats", "ProxyCache", "DEFAULT_TTL_SECONDS"]
+
+#: The paper's default staleness period: one hour.
+DEFAULT_TTL_SECONDS = 3600.0
+
+
+@dataclass
+class ProxyStats:
+    """Per-proxy counters."""
+
+    requests: int = 0
+    hits: int = 0                # served from cache without body transfer
+    validation_hits: int = 0     # of which: via a 304 revalidation
+    misses: int = 0
+    bytes_requested: int = 0
+    bytes_hit: int = 0
+    piggyback_validations: int = 0
+    piggyback_renewals: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        if self.bytes_requested == 0:
+            return 0.0
+        return self.bytes_hit / self.bytes_requested
+
+
+class ProxyCache:
+    """One proxy: LRU store + TTL/PCV consistency against one origin."""
+
+    def __init__(
+        self,
+        server: OriginServer,
+        capacity_bytes: Optional[int] = None,
+        ttl_seconds: float = DEFAULT_TTL_SECONDS,
+        piggyback_limit: int = 10,
+    ) -> None:
+        if ttl_seconds <= 0:
+            raise ValueError(f"ttl must be positive: {ttl_seconds!r}")
+        self.server = server
+        self.cache = LruCache(capacity_bytes)
+        self.ttl_seconds = ttl_seconds
+        self.piggyback_limit = piggyback_limit
+        self.stats = ProxyStats()
+
+    # -- request path -----------------------------------------------------
+
+    def request(self, url: str, now: float) -> bool:
+        """Serve one client request; returns True on a cache hit
+        (no response body fetched from the origin)."""
+        size = self.server.catalog.size_of(url)
+        self.stats.requests += 1
+        self.stats.bytes_requested += size
+
+        item = self.cache.get(url)
+        if item is not None and item.fresh_at(now):
+            self.stats.hits += 1
+            self.stats.bytes_hit += item.size
+            return True
+
+        if item is not None:
+            # Expired and not piggyback-renewed: conditional GET.
+            result = self.server.get_if_modified_since(url, item.fetched_at, now)
+            if result.status == 304:
+                item.fetched_at = now
+                item.expires_at = now + self.ttl_seconds
+                self.stats.hits += 1
+                self.stats.validation_hits += 1
+                self.stats.bytes_hit += item.size
+                self._piggyback(now)
+                return True
+            self._store(url, result.size, now)
+            self.stats.misses += 1
+            self._piggyback(now)
+            return False
+
+        # Cold miss: full fetch, with piggybacked validations.
+        result = self.server.get(url, now)
+        self._store(url, result.size, now)
+        self.stats.misses += 1
+        self._piggyback(now)
+        return False
+
+    # -- internals ------------------------------------------------------------
+
+    def _store(self, url: str, size: int, now: float) -> None:
+        self.cache.put(
+            CacheItem(
+                url=url,
+                size=size,
+                fetched_at=now,
+                expires_at=now + self.ttl_seconds,
+            )
+        )
+
+    def _piggyback(self, now: float) -> None:
+        """Ride validation checks for expired cached resources on the
+        server contact that just happened (the heart of PCV)."""
+        expired: List[CacheItem] = []
+        # Scan from the LRU end, where stale entries concentrate, with a
+        # fixed budget so per-request piggybacking stays O(1) even for
+        # very large caches (the real PCV proxy batches similarly).
+        scan_budget = max(self.piggyback_limit * 5, 25)
+        for scanned, (_, item) in enumerate(self.cache.items()):
+            if scanned >= scan_budget or len(expired) >= self.piggyback_limit:
+                break
+            if not item.fresh_at(now):
+                expired.append(item)
+        for item in expired:
+            self.stats.piggyback_validations += 1
+            if self.server.catalog.modified_between(item.url, item.fetched_at, now):
+                self.cache.remove(item.url)
+            else:
+                item.fetched_at = now
+                item.expires_at = now + self.ttl_seconds
+                self.stats.piggyback_renewals += 1

@@ -1,0 +1,143 @@
+"""Comparing two clusterings of the same clients.
+
+Figure 7 and §4.1.5 argue that the simple and network-aware clusterings
+differ *materially*; this module quantifies how much any two
+clusterings agree:
+
+* **pairwise agreement** (Rand index): over all client pairs, the
+  fraction on which the clusterings agree (together in both, or apart
+  in both);
+* **split/merge structure**: how many clusters of A map onto multiple
+  clusters of B and vice versa — the "too small"/"too big" error
+  directions of §3.3;
+* **exact cluster matches**: clusters identical in both.
+
+Used by tests (streamed-vs-batch clustering must agree perfectly), by
+the fig7 analysis, and by anyone swapping prefix tables who wants to
+know what changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.core.clustering import ClusterSet
+
+__all__ = ["ClusteringComparison", "compare_clusterings"]
+
+
+@dataclass(frozen=True)
+class ClusteringComparison:
+    """How two clusterings of one client population relate."""
+
+    common_clients: int
+    rand_index: float            # pairwise agreement in [0, 1]
+    exact_matches: int           # clusters with identical membership
+    clusters_a: int
+    clusters_b: int
+    splits_a_to_b: int           # clusters of A spanning >1 cluster of B
+    splits_b_to_a: int           # clusters of B spanning >1 cluster of A
+
+    @property
+    def identical(self) -> bool:
+        return (
+            self.rand_index == 1.0
+            and self.clusters_a == self.clusters_b == self.exact_matches
+        )
+
+    def describe(self) -> str:
+        return (
+            f"Rand index {self.rand_index:.3f} over "
+            f"{self.common_clients:,} clients; "
+            f"{self.exact_matches} identical clusters; "
+            f"{self.splits_a_to_b} A-clusters split in B, "
+            f"{self.splits_b_to_a} B-clusters split in A"
+        )
+
+
+def _assignments(cluster_set: ClusterSet) -> Dict[int, int]:
+    """Map each client to a dense cluster id."""
+    assignment: Dict[int, int] = {}
+    for index, cluster in enumerate(cluster_set.clusters):
+        for client in cluster.clients:
+            assignment[client] = index
+    return assignment
+
+
+def compare_clusterings(
+    a: ClusterSet, b: ClusterSet
+) -> ClusteringComparison:
+    """Compare two clusterings over their common clients.
+
+    The Rand index is computed exactly via the pair-counting identity
+    (sums of C(n,2) over the contingency table), so it costs O(clients
+    + distinct cluster pairs), not O(clients²).
+    """
+    assign_a = _assignments(a)
+    assign_b = _assignments(b)
+    common = sorted(set(assign_a) & set(assign_b))
+    n = len(common)
+    if n < 2:
+        return ClusteringComparison(
+            common_clients=n,
+            rand_index=1.0,
+            exact_matches=0,
+            clusters_a=len(a),
+            clusters_b=len(b),
+            splits_a_to_b=0,
+            splits_b_to_a=0,
+        )
+
+    # Contingency table over common clients.
+    joint: Dict[Tuple[int, int], int] = {}
+    size_a: Dict[int, int] = {}
+    size_b: Dict[int, int] = {}
+    for client in common:
+        key = (assign_a[client], assign_b[client])
+        joint[key] = joint.get(key, 0) + 1
+        size_a[key[0]] = size_a.get(key[0], 0) + 1
+        size_b[key[1]] = size_b.get(key[1], 0) + 1
+
+    def c2(count: int) -> int:
+        return count * (count - 1) // 2
+
+    sum_joint = sum(c2(count) for count in joint.values())
+    sum_a = sum(c2(count) for count in size_a.values())
+    sum_b = sum(c2(count) for count in size_b.values())
+    total_pairs = c2(n)
+    # Rand = (agreements) / pairs, where agreements =
+    #   pairs together in both + pairs apart in both.
+    together_both = sum_joint
+    apart_both = total_pairs - sum_a - sum_b + sum_joint
+    rand = (together_both + apart_both) / total_pairs
+
+    # Split structure.
+    partners_a: Dict[int, Set[int]] = {}
+    partners_b: Dict[int, Set[int]] = {}
+    for (cluster_a, cluster_b) in joint:
+        partners_a.setdefault(cluster_a, set()).add(cluster_b)
+        partners_b.setdefault(cluster_b, set()).add(cluster_a)
+    splits_a = sum(1 for targets in partners_a.values() if len(targets) > 1)
+    splits_b = sum(1 for targets in partners_b.values() if len(targets) > 1)
+
+    # Exact membership matches (over common clients).
+    members_a: Dict[int, Set[int]] = {}
+    members_b: Dict[int, Set[int]] = {}
+    for client in common:
+        members_a.setdefault(assign_a[client], set()).add(client)
+        members_b.setdefault(assign_b[client], set()).add(client)
+    sets_b = {frozenset(members) for members in members_b.values()}
+    exact = sum(
+        1 for members in members_a.values() if frozenset(members) in sets_b
+    )
+
+    return ClusteringComparison(
+        common_clients=n,
+        rand_index=rand,
+        exact_matches=exact,
+        clusters_a=len(a),
+        clusters_b=len(b),
+        splits_a_to_b=splits_a,
+        splits_b_to_a=splits_b,
+    )

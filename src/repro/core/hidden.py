@@ -1,0 +1,126 @@
+"""Hidden-client estimation (§4.1.1's client classes, quantified).
+
+The paper classifies log clients into *visible clients*, *hidden
+clients* ("hidden behind proxies and thus not visible to the server"),
+and *spiders*.  Detection (:mod:`repro.core.spiders`) finds the proxies
+and spiders; this module estimates how many hidden clients sit behind
+each detected proxy, and rolls the three classes up per log:
+
+* the User-Agent mix a proxy relays lower-bounds its distinct users
+  (§4.1.2 notes many UAs from one busy host indicate a proxy);
+* the ratio between the proxy's request volume and the log's typical
+  per-user volume gives a demand-based estimate;
+* the reported estimate is the larger of the two (both are lower
+  bounds), with the evidence retained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.spiders import Detection, DetectionReport, profile_clients
+from repro.weblog.parser import WebLog
+
+__all__ = ["HiddenClientEstimate", "ClientCensus", "estimate_hidden_clients",
+           "census"]
+
+
+@dataclass(frozen=True)
+class HiddenClientEstimate:
+    """Estimated users behind one detected proxy."""
+
+    proxy_client: int
+    estimated_users: int
+    user_agent_lower_bound: int
+    demand_based_estimate: int
+    proxy_requests: int
+    typical_user_requests: float
+
+
+@dataclass
+class ClientCensus:
+    """§4.1.1's classification, counted for one log."""
+
+    visible_clients: int
+    spiders: int
+    proxies: int
+    estimated_hidden_clients: int
+    estimates: List[HiddenClientEstimate] = field(default_factory=list)
+
+    @property
+    def total_effective_users(self) -> int:
+        """Visible plus estimated hidden human users (spiders are
+        programs and excluded)."""
+        return self.visible_clients + self.estimated_hidden_clients
+
+    def describe(self) -> str:
+        return (
+            f"{self.visible_clients:,} visible clients, {self.spiders} "
+            f"spider(s), {self.proxies} prox(ies) hiding an estimated "
+            f"{self.estimated_hidden_clients:,} clients"
+        )
+
+
+def _median(values: List[int]) -> float:
+    if not values:
+        return 1.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def estimate_hidden_clients(
+    log: WebLog,
+    proxy_detection: Detection,
+    ua_concurrency_factor: float = 3.0,
+) -> HiddenClientEstimate:
+    """Estimate the users behind one detected proxy.
+
+    ``ua_concurrency_factor`` scales the UA lower bound: one browser
+    build is shared by many users, so ``k`` distinct UAs imply at least
+    ``k`` and plausibly ``k * factor`` users.  The demand estimate is
+    ``proxy requests / median per-visible-client requests``.
+    """
+    if ua_concurrency_factor < 1.0:
+        raise ValueError(
+            f"concurrency factor must be >= 1: {ua_concurrency_factor!r}"
+        )
+    profiles = profile_clients(log)
+    visible_counts = [
+        profile.requests
+        for client, profile in profiles.items()
+        if client != proxy_detection.client
+    ]
+    typical = max(1.0, _median(visible_counts))
+    demand_estimate = max(1, round(proxy_detection.requests / typical))
+    ua_bound = max(1, round(
+        proxy_detection.user_agents * ua_concurrency_factor
+    ))
+    return HiddenClientEstimate(
+        proxy_client=proxy_detection.client,
+        estimated_users=max(demand_estimate, ua_bound),
+        user_agent_lower_bound=proxy_detection.user_agents,
+        demand_based_estimate=demand_estimate,
+        proxy_requests=proxy_detection.requests,
+        typical_user_requests=typical,
+    )
+
+
+def census(log: WebLog, detections: DetectionReport) -> ClientCensus:
+    """Roll up §4.1.1's three client classes for ``log``."""
+    special = set(detections.spider_clients()) | set(detections.proxy_clients())
+    visible = log.num_clients() - len(special & set(log.clients()))
+    estimates = [
+        estimate_hidden_clients(log, detection)
+        for detection in detections.proxies
+    ]
+    return ClientCensus(
+        visible_clients=visible,
+        spiders=len(detections.spiders),
+        proxies=len(detections.proxies),
+        estimated_hidden_clients=sum(e.estimated_users for e in estimates),
+        estimates=estimates,
+    )

@@ -1,0 +1,109 @@
+"""Second-level clustering: grouping client clusters into network
+clusters (§3.6).
+
+After prefix-level clustering, nearby clusters can themselves be
+grouped: run traceroute on ``r ≥ 1`` randomly selected clients per
+cluster and suffix-match the *paths* toward each destination network.
+Clusters whose sampled paths share a suffix (by default the
+distribution-router level, one hop above the edge) join one network
+cluster — useful for selective content distribution, proxy placement,
+and load balancing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.clustering import Cluster, ClusterSet
+from repro.simnet.traceroute import SimulatedTraceroute
+
+__all__ = ["NetworkCluster", "NetworkClusterSet", "cluster_networks"]
+
+
+@dataclass
+class NetworkCluster:
+    """A group of client clusters sharing a routing-path suffix."""
+
+    path_suffix: Tuple[str, ...]
+    members: List[Cluster] = field(default_factory=list)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.members)
+
+    @property
+    def num_clients(self) -> int:
+        return sum(c.num_clients for c in self.members)
+
+    @property
+    def requests(self) -> int:
+        return sum(c.requests for c in self.members)
+
+
+@dataclass
+class NetworkClusterSet:
+    """Outcome of second-level clustering."""
+
+    groups: List[NetworkCluster]
+    probes_used: int
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def sorted_by_requests(self) -> List[NetworkCluster]:
+        return sorted(self.groups, key=lambda g: -g.requests)
+
+
+def cluster_networks(
+    cluster_set: ClusterSet,
+    traceroute: SimulatedTraceroute,
+    samples_per_cluster: int = 2,
+    level: int = 2,
+    rng: Optional[random.Random] = None,
+) -> NetworkClusterSet:
+    """Group ``cluster_set``'s clusters by shared routing-path suffix.
+
+    ``level`` selects the router tier whose identity defines a network
+    cluster, counted up from the destination: 1 = the edge router in
+    front of the clients (finest: one group per entity site), 2 = the
+    distribution router (one group per allocation region), 3 = the AS
+    core (one group per AS).  Clusters sharing the router at that tier
+    — i.e. whose paths share the suffix from that hop onward — merge.
+    """
+    if samples_per_cluster < 1:
+        raise ValueError("need at least one traceroute sample per cluster")
+    if level < 1:
+        raise ValueError("level counts hops up from the destination (>= 1)")
+    rng = rng or random.Random(0)
+    probes = 0
+    groups: Dict[Tuple[str, ...], NetworkCluster] = {}
+    for cluster in cluster_set.clusters:
+        count = min(samples_per_cluster, cluster.num_clients)
+        sampled = rng.sample(cluster.clients, count)
+        suffixes = set()
+        for address in sampled:
+            probes += 1
+            result = traceroute.optimized(address)
+            path = result.path
+            # The group key is the single router at the requested tier:
+            # everything below it (closer to the clients) is within one
+            # network region, everything above it is shared transit.
+            if len(path) >= level:
+                suffixes.add((path[-level],))
+            else:
+                suffixes.add(path)
+        # Ambiguous clusters (multiple suffixes) stay alone under their
+        # own full identity rather than polluting a shared group.
+        key = (
+            next(iter(suffixes))
+            if len(suffixes) == 1
+            else ("unshared", cluster.identifier.cidr)
+        )
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = NetworkCluster(path_suffix=key)
+        group.members.append(cluster)
+    ordered = sorted(groups.values(), key=lambda g: -g.requests)
+    return NetworkClusterSet(groups=ordered, probes_used=probes)

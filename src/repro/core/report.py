@@ -1,0 +1,141 @@
+"""One-call site analysis: the paper's §3–§4 pipeline as a report.
+
+A site operator with a log and a prefix table wants, in one shot, what
+the paper assembles across four sections: the clustering and its
+coverage, the spiders and proxies, the busy clusters worth fronting
+with proxies, and (when a topology/geography oracle is available) a
+validated accuracy estimate and a placement sketch.
+
+:func:`analyze_log` orchestrates the library's pieces and returns a
+:class:`SiteReport` whose ``render()`` is a readable plain-text digest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.bgp.table import MergedPrefixTable
+from repro.core.clustering import ClusterSet, cluster_log
+from repro.core.hidden import ClientCensus, census
+from repro.core.metrics import ClusterSummary, summary
+from repro.core.spiders import DetectionReport, classify_clients
+from repro.core.threshold import ThresholdReport, threshold_busy_clusters
+from repro.util.tables import render_table
+from repro.weblog.parser import WebLog
+from repro.weblog.stats import LogStats, summarize
+
+__all__ = ["SiteReport", "analyze_log"]
+
+
+@dataclass
+class SiteReport:
+    """Everything :func:`analyze_log` computed."""
+
+    log_stats: LogStats
+    cluster_set: ClusterSet
+    cluster_summary: ClusterSummary
+    detections: DetectionReport
+    client_census: ClientCensus
+    busy: ThresholdReport
+    validation_pass_rate: Optional[float] = None
+    notes: List[str] = field(default_factory=list)
+
+    def render(self, top: int = 10) -> str:
+        """Readable digest, one section per pipeline stage."""
+        parts: List[str] = []
+        parts.append("=== log ===")
+        parts.append(self.log_stats.describe())
+        parts.append("")
+        parts.append("=== clusters ===")
+        parts.append(self.cluster_summary.describe())
+        unclustered = len(self.cluster_set.unclustered_clients)
+        if unclustered:
+            parts.append(f"unclusterable clients: {unclustered}")
+        if self.validation_pass_rate is not None:
+            parts.append(
+                f"sampled validation pass rate: "
+                f"{self.validation_pass_rate:.1%}"
+            )
+        parts.append("")
+        parts.append("=== robots and relays ===")
+        parts.append(self.client_census.describe())
+        for detection in self.detections.spiders + self.detections.proxies:
+            parts.append("  " + detection.describe())
+        parts.append("")
+        parts.append("=== busy clusters (proxy candidates) ===")
+        parts.append(self.busy.describe())
+        rows = [
+            [c.identifier.cidr, c.num_clients, f"{c.requests:,}",
+             c.unique_urls]
+            for c in self.busy.busy[:top]
+        ]
+        if rows:
+            parts.append(render_table(
+                ["cluster", "clients", "requests", "urls"], rows
+            ))
+        if self.notes:
+            parts.append("")
+            parts.append("=== notes ===")
+            parts.extend(f"  {note}" for note in self.notes)
+        return "\n".join(parts)
+
+
+def analyze_log(
+    log: WebLog,
+    table: MergedPrefixTable,
+    busy_share: float = 0.70,
+    dns=None,
+    topology=None,
+    validation_fraction: float = 0.10,
+    seed: int = 0,
+) -> SiteReport:
+    """Run the full §3–§4 analysis over ``log``.
+
+    ``dns``/``topology`` are optional oracles (available for synthetic
+    worlds, substitutable with live probers): when present, a sampled
+    nslookup validation pass rate is included.
+    """
+    stats = summarize(log)
+    clusters = cluster_log(log, table)
+    detections = classify_clients(log, clusters)
+    client_census = census(log, detections)
+
+    notes: List[str] = []
+    eliminated = detections.spider_clients() + detections.proxy_clients()
+    working_log = log
+    working_clusters = clusters
+    if eliminated:
+        working_log = log.without_clients(eliminated)
+        working_clusters = cluster_log(working_log, table)
+        notes.append(
+            f"busy-cluster analysis excludes {len(eliminated)} detected "
+            "spider/proxy client(s)"
+        )
+    busy = threshold_busy_clusters(working_clusters, request_share=busy_share)
+
+    pass_rate: Optional[float] = None
+    if dns is not None and topology is not None:
+        from repro.core.validation import nslookup_validate, sample_clusters
+
+        sample = sample_clusters(
+            clusters, validation_fraction, random.Random(seed)
+        )
+        report = nslookup_validate(sample, dns, topology)
+        pass_rate = report.pass_rate
+        notes.append(
+            f"validated {len(sample)} sampled clusters via nslookup "
+            "suffix matching"
+        )
+
+    return SiteReport(
+        log_stats=stats,
+        cluster_set=clusters,
+        cluster_summary=summary(clusters),
+        detections=detections,
+        client_census=client_census,
+        busy=busy,
+        validation_pass_rate=pass_rate,
+        notes=notes,
+    )

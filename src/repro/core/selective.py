@@ -1,0 +1,134 @@
+"""Selective-sampling validation (§3.3, closing paragraph).
+
+"Many real applications will be tolerant to a certain degree of
+inaccuracy and an alternative way to validate is to set a threshold
+(say 5%) and selectively sample clients.  For example, if 95% of the
+clients inside the cluster are correctly identified, we could consider
+this cluster to be correct.  This selective sampling can be performed
+in either a client-based or a request-based manner depending on the
+application's criteria."
+
+The strict test of :mod:`repro.core.validation` fails a cluster on a
+single disagreeing client; this module implements the tolerant variant:
+
+* a *majority suffix* is computed over the cluster's resolvable
+  clients;
+* the cluster passes when at least ``1 - tolerance`` of its clients
+  (client-based) or of its requests (request-based) carry that suffix.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.clustering import Cluster
+from repro.simnet.dns import SimulatedDns, nontrivial_suffix
+
+__all__ = [
+    "MODE_CLIENT",
+    "MODE_REQUEST",
+    "SelectiveVerdict",
+    "SelectiveReport",
+    "selective_validate",
+]
+
+MODE_CLIENT = "client"
+MODE_REQUEST = "request"
+
+
+@dataclass
+class SelectiveVerdict:
+    """Tolerant-validation outcome for one cluster."""
+
+    cluster: Cluster
+    passed: bool
+    agreement: float              # weight fraction carrying the majority suffix
+    majority_suffix: Tuple[str, ...]
+    resolved_clients: int
+    weighted_total: float
+
+    @property
+    def failed(self) -> bool:
+        return not self.passed
+
+
+@dataclass
+class SelectiveReport:
+    """One tolerant-validation run."""
+
+    mode: str
+    tolerance: float
+    verdicts: List[SelectiveVerdict] = field(default_factory=list)
+
+    @property
+    def pass_rate(self) -> float:
+        if not self.verdicts:
+            return 1.0
+        return sum(1 for v in self.verdicts if v.passed) / len(self.verdicts)
+
+    @property
+    def misidentified(self) -> int:
+        return sum(1 for v in self.verdicts if v.failed)
+
+
+def selective_validate(
+    clusters: Sequence[Cluster],
+    dns: SimulatedDns,
+    tolerance: float = 0.05,
+    mode: str = MODE_CLIENT,
+    request_counts: Optional[Dict[int, int]] = None,
+) -> SelectiveReport:
+    """Run the tolerant suffix test over ``clusters``.
+
+    ``mode=MODE_CLIENT`` weighs every resolvable client equally;
+    ``mode=MODE_REQUEST`` weighs each by its request count (pass
+    ``request_counts`` from
+    :func:`repro.weblog.stats.requests_by_client`), so a cluster whose
+    sole disagreeing client is also its busiest fails the request-based
+    test while passing the client-based one.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1): {tolerance!r}")
+    if mode not in (MODE_CLIENT, MODE_REQUEST):
+        raise ValueError(f"unknown mode: {mode!r}")
+    if mode == MODE_REQUEST and request_counts is None:
+        raise ValueError("request-based mode needs request_counts")
+
+    report = SelectiveReport(mode=mode, tolerance=tolerance)
+    for cluster in clusters:
+        weights: Counter = Counter()
+        resolved = 0
+        for client in cluster.clients:
+            name = dns.resolve(client)
+            if name is None:
+                continue
+            resolved += 1
+            weight = (
+                request_counts.get(client, 0)
+                if mode == MODE_REQUEST
+                else 1
+            )
+            weights[nontrivial_suffix(name)] += weight
+        total = float(sum(weights.values()))
+        if total <= 0.0:
+            # No evidence either way: like the strict test, a cluster
+            # with no resolvable clients cannot be failed.
+            report.verdicts.append(
+                SelectiveVerdict(cluster, True, 1.0, (), resolved, 0.0)
+            )
+            continue
+        majority_suffix, majority_weight = weights.most_common(1)[0]
+        agreement = majority_weight / total
+        report.verdicts.append(
+            SelectiveVerdict(
+                cluster=cluster,
+                passed=agreement >= 1.0 - tolerance,
+                agreement=agreement,
+                majority_suffix=majority_suffix,
+                resolved_clients=resolved,
+                weighted_total=total,
+            )
+        )
+    return report

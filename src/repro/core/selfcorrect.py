@@ -1,0 +1,188 @@
+"""Self-correction and adaptation (§3.5).
+
+Periodic traceroute sampling improves the clustering in three ways:
+
+* **absorb** — each un-clusterable client starts as a singleton cluster
+  and is merged into the existing cluster whose sampled clients share
+  its router-path suffix (or with fellow singletons sharing one);
+* **merge** — clusters whose sampled clients share a path suffix belong
+  to one network; they are merged and the covering prefix recomputed;
+* **split** — a cluster whose clients disagree on path suffix spans
+  several networks; it is partitioned by suffix.
+
+The same pass makes the clustering adaptive to network dynamics: after
+BGP churn invalidates a prefix, the affected clients re-enter via the
+absorb path on the next run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.clustering import Cluster, ClusterSet
+from repro.net.ipv4 import mask_bits
+from repro.net.prefix import Prefix
+from repro.simnet.traceroute import SimulatedTraceroute
+
+__all__ = ["CorrectionReport", "SelfCorrector", "covering_prefix"]
+
+
+def covering_prefix(addresses: Sequence[int]) -> Prefix:
+    """The tightest prefix covering all ``addresses`` (recomputed
+    netmask after a merge, §3.5 case (i))."""
+    if not addresses:
+        raise ValueError("cannot cover an empty address set")
+    lo, hi = min(addresses), max(addresses)
+    length = 32
+    while length > 0 and (lo & mask_bits(length)) != (hi & mask_bits(length)):
+        length -= 1
+    return Prefix(lo & mask_bits(length), length)
+
+
+@dataclass
+class CorrectionReport:
+    """What one self-correction pass changed."""
+
+    absorbed_clients: int = 0
+    merges: int = 0
+    splits: int = 0
+    clusters_before: int = 0
+    clusters_after: int = 0
+    probes_used: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"self-correction: {self.clusters_before} -> "
+            f"{self.clusters_after} clusters "
+            f"({self.merges} merges, {self.splits} splits, "
+            f"{self.absorbed_clients} clients absorbed)"
+        )
+
+
+class SelfCorrector:
+    """Applies §3.5's merge/split/absorb using traceroute samples."""
+
+    def __init__(
+        self,
+        traceroute: SimulatedTraceroute,
+        samples_per_cluster: int = 3,
+        path_suffix_hops: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self._traceroute = traceroute
+        self._samples = samples_per_cluster
+        self._hops = path_suffix_hops
+        self._rng = random.Random(seed)
+        self._probes = 0
+
+    # -- sampling helpers ----------------------------------------------------
+
+    def _suffix_of(self, address: int) -> Tuple[str, ...]:
+        self._probes += 1
+        return self._traceroute.optimized(address).last_hops(self._hops)
+
+    def _sampled_suffixes(self, cluster: Cluster) -> List[Tuple[str, ...]]:
+        count = min(self._samples, cluster.num_clients)
+        chosen = self._rng.sample(cluster.clients, count)
+        return [self._suffix_of(address) for address in chosen]
+
+    # -- the pass -------------------------------------------------------------
+
+    def correct(self, cluster_set: ClusterSet) -> Tuple[ClusterSet, CorrectionReport]:
+        """Run one full self-correction pass; returns the corrected set.
+
+        The input is not mutated.  Cluster traffic metrics (requests,
+        URLs) are summed on merge and zeroed on split — a split cluster
+        needs one metrics pass over the log to refresh them, which the
+        caller owns.
+        """
+        report = CorrectionReport(clusters_before=len(cluster_set))
+        working = [
+            Cluster(
+                identifier=c.identifier,
+                clients=list(c.clients),
+                requests=c.requests,
+                unique_urls=c.unique_urls,
+                total_bytes=c.total_bytes,
+                source_kind=c.source_kind,
+                source_name=c.source_name,
+            )
+            for c in cluster_set.clusters
+        ]
+
+        # 1. Split clusters spanning several path suffixes.
+        split_out: List[Cluster] = []
+        for cluster in working:
+            split_out.extend(self._maybe_split(cluster, report))
+
+        # 2. Merge clusters sharing a sampled path suffix.
+        merged = self._merge_by_suffix(split_out, report)
+
+        # 3. Absorb unclustered clients as singletons, then merge them in.
+        singletons = [
+            Cluster(identifier=Prefix(address, 32), clients=[address])
+            for address in cluster_set.unclustered_clients
+        ]
+        if singletons:
+            before = len(merged)
+            merged = self._merge_by_suffix(merged + singletons, report)
+            absorbed = before + len(singletons) - len(merged)
+            report.absorbed_clients = max(0, absorbed)
+
+        corrected = ClusterSet(
+            log_name=cluster_set.log_name,
+            method=cluster_set.method + "+selfcorrect",
+            clusters=sorted(merged, key=lambda c: c.identifier.sort_key()),
+            unclustered_clients=[],
+        )
+        report.clusters_after = len(corrected)
+        report.probes_used = self._probes
+        return corrected, report
+
+    def _maybe_split(self, cluster: Cluster, report: CorrectionReport) -> List[Cluster]:
+        """§3.5 case (ii): partition a cluster by path suffix when its
+        sampled clients disagree."""
+        if cluster.num_clients < 2:
+            return [cluster]
+        suffixes = set(self._sampled_suffixes(cluster))
+        if len(suffixes) <= 1:
+            return [cluster]
+        report.splits += 1
+        groups: Dict[Tuple[str, ...], List[int]] = {}
+        for address in cluster.clients:
+            groups.setdefault(self._suffix_of(address), []).append(address)
+        return [
+            Cluster(identifier=covering_prefix(addresses), clients=addresses)
+            for addresses in groups.values()
+        ]
+
+    def _merge_by_suffix(
+        self, clusters: List[Cluster], report: CorrectionReport
+    ) -> List[Cluster]:
+        """§3.5 case (i): merge clusters sharing a sampled path suffix."""
+        by_suffix: Dict[Tuple[str, ...], Cluster] = {}
+        result: List[Cluster] = []
+        for cluster in clusters:
+            suffixes = set(self._sampled_suffixes(cluster))
+            if len(suffixes) != 1:
+                result.append(cluster)  # ambiguous: leave untouched
+                continue
+            suffix = next(iter(suffixes))
+            if not suffix or not all(suffix):
+                result.append(cluster)  # path unknown: cannot merge safely
+                continue
+            target = by_suffix.get(suffix)
+            if target is None:
+                by_suffix[suffix] = cluster
+                continue
+            report.merges += 1
+            combined = sorted(set(target.clients) | set(cluster.clients))
+            target.clients = combined
+            target.identifier = covering_prefix(combined)
+            target.requests += cluster.requests
+            target.total_bytes += cluster.total_bytes
+            target.unique_urls = max(target.unique_urls, cluster.unique_urls)
+        result.extend(by_suffix.values())
+        return result

@@ -1,0 +1,80 @@
+"""Server clustering from proxy logs (§3.6).
+
+The same longest-prefix-match machinery clusters *server* addresses
+seen in a proxy/ISP client trace.  The paper found 69,192 unique server
+addresses in an 11-day ISP trace, of which only ~0.2 % were not
+clusterable, and that roughly 4 % of the server clusters received 70 %
+of the 12.4 M requests — the concentration that makes content
+distribution planning tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.bgp.table import MergedPrefixTable
+from repro.core.clustering import ClusterSet, cluster_log
+from repro.weblog.parser import WebLog
+
+__all__ = ["ServerClusterReport", "cluster_servers"]
+
+
+@dataclass
+class ServerClusterReport:
+    """Headline numbers of one server-clustering run."""
+
+    cluster_set: ClusterSet
+    unique_servers: int
+    unclusterable: int
+    total_requests: int
+
+    @property
+    def unclusterable_fraction(self) -> float:
+        if self.unique_servers == 0:
+            return 0.0
+        return self.unclusterable / self.unique_servers
+
+    def top_cluster_share(self, request_share: float = 0.70) -> float:
+        """Fraction of server clusters that receive ``request_share`` of
+        all requests (the paper's '4 % of clusters got 70 %')."""
+        ordered = self.cluster_set.sorted_by_requests()
+        if not ordered:
+            return 0.0
+        target = self.total_requests * request_share
+        accumulated = 0
+        needed = 0
+        for cluster in ordered:
+            if accumulated >= target:
+                break
+            accumulated += cluster.requests
+            needed += 1
+        return needed / len(ordered)
+
+    def describe(self) -> str:
+        return (
+            f"{self.unique_servers:,} servers -> "
+            f"{len(self.cluster_set):,} clusters; "
+            f"{self.unclusterable} unclusterable "
+            f"({self.unclusterable_fraction:.2%}); "
+            f"{self.top_cluster_share():.1%} of clusters receive 70% "
+            f"of {self.total_requests:,} requests"
+        )
+
+
+def cluster_servers(
+    proxy_log: WebLog, table: MergedPrefixTable
+) -> ServerClusterReport:
+    """Cluster the server addresses appearing in ``proxy_log``.
+
+    The log's address field holds the *servers* contacted through the
+    proxy; request/URL metrics roll up per server cluster exactly as
+    they do for client clusters.
+    """
+    cluster_set = cluster_log(proxy_log, table)
+    return ServerClusterReport(
+        cluster_set=cluster_set,
+        unique_servers=cluster_set.num_clients,
+        unclusterable=len(cluster_set.unclustered_clients),
+        total_requests=len(proxy_log),
+    )

@@ -1,0 +1,324 @@
+"""Spider and proxy identification (§4.1.1–§4.1.2).
+
+The paper classifies log clients into visible clients, hidden clients
+(behind proxies), and spiders, using per-cluster access patterns:
+
+* a **spider** issues a very large number of requests, sweeps a large
+  fraction of the site's URLs, dominates its cluster's request count
+  (Figure 10), and its arrival pattern does *not* follow the log's
+  diurnal shape (Figure 9(c));
+* a **proxy** also issues many requests but *mimics* the aggregate
+  arrival pattern (Figure 9(b)), has short think times, and — when the
+  log records User-Agent — relays many distinct agents.
+
+Neither signal is individually sufficient (the paper combines arrival
+time with within-cluster skew for spiders, and admits proxies cannot
+all be found); the detectors below combine the same features and report
+per-candidate evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.clustering import Cluster, ClusterSet
+from repro.weblog.parser import WebLog
+
+__all__ = [
+    "ClientProfile",
+    "Detection",
+    "DetectionReport",
+    "profile_clients",
+    "arrival_histogram",
+    "pattern_correlation",
+    "detect_spiders",
+    "detect_proxies",
+    "classify_clients",
+]
+
+#: Arrival histograms use hourly buckets, like Figure 9.
+BUCKET_SECONDS = 3600.0
+
+
+@dataclass
+class ClientProfile:
+    """Per-client features driving classification."""
+
+    client: int
+    requests: int = 0
+    unique_urls: int = 0
+    user_agents: Set[str] = field(default_factory=set)
+    first_time: float = math.inf
+    last_time: float = -math.inf
+    histogram: List[int] = field(default_factory=list)
+    total_think_time: float = 0.0
+
+    @property
+    def mean_think_seconds(self) -> float:
+        """Average gap between consecutive requests."""
+        if self.requests < 2:
+            return math.inf
+        return self.total_think_time / (self.requests - 1)
+
+
+def arrival_histogram(
+    log: WebLog, clients: Optional[Set[int]] = None
+) -> List[int]:
+    """Hourly request-arrival histogram over the whole log span.
+
+    ``clients`` restricts the count to those addresses; the bucket axis
+    always covers the full log so histograms are comparable.
+    """
+    if not log.entries:
+        return []
+    start, end = log.time_span()
+    buckets = int((end - start) // BUCKET_SECONDS) + 1
+    counts = [0] * buckets
+    for entry in log.entries:
+        if clients is not None and entry.client not in clients:
+            continue
+        counts[int((entry.timestamp - start) // BUCKET_SECONDS)] += 1
+    return counts
+
+
+def pattern_correlation(a: Sequence[int], b: Sequence[int]) -> float:
+    """Pearson correlation between two arrival histograms.
+
+    Quantifies the paper's visual test: a proxy's spikes line up with
+    the log's daily spikes (high correlation); a spider's do not.
+    """
+    n = min(len(a), len(b))
+    if n < 2:
+        return 0.0
+    xs, ys = list(a[:n]), list(b[:n])
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0.0 or var_y <= 0.0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def profile_clients(log: WebLog) -> Dict[int, ClientProfile]:
+    """One pass over the log building per-client profiles."""
+    if not log.entries:
+        return {}
+    start, end = log.time_span()
+    buckets = int((end - start) // BUCKET_SECONDS) + 1
+    profiles: Dict[int, ClientProfile] = {}
+    last_seen: Dict[int, float] = {}
+    urls: Dict[int, Set[str]] = {}
+    for entry in log.entries:
+        profile = profiles.get(entry.client)
+        if profile is None:
+            profile = profiles[entry.client] = ClientProfile(
+                client=entry.client, histogram=[0] * buckets
+            )
+        profile.requests += 1
+        urls.setdefault(entry.client, set()).add(entry.url)
+        if entry.user_agent:
+            profile.user_agents.add(entry.user_agent)
+        profile.first_time = min(profile.first_time, entry.timestamp)
+        profile.last_time = max(profile.last_time, entry.timestamp)
+        profile.histogram[int((entry.timestamp - start) // BUCKET_SECONDS)] += 1
+        previous = last_seen.get(entry.client)
+        if previous is not None:
+            profile.total_think_time += max(0.0, entry.timestamp - previous)
+        last_seen[entry.client] = entry.timestamp
+    for client, url_set in urls.items():
+        profiles[client].unique_urls = len(url_set)
+    return profiles
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One suspected spider or proxy, with its evidence."""
+
+    client: int
+    kind: str                 # "spider" or "proxy"
+    cluster_prefix: str
+    requests: int
+    unique_urls: int
+    request_share_of_cluster: float
+    diurnal_correlation: float
+    user_agents: int
+    mean_think_seconds: float
+    score: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} at client {self.client}: {self.requests:,} requests, "
+            f"{self.unique_urls:,} URLs, {self.request_share_of_cluster:.0%} of "
+            f"cluster, corr={self.diurnal_correlation:.2f}, "
+            f"UAs={self.user_agents}"
+        )
+
+
+@dataclass
+class DetectionReport:
+    """All detections for one log."""
+
+    spiders: List[Detection] = field(default_factory=list)
+    proxies: List[Detection] = field(default_factory=list)
+
+    def spider_clients(self) -> List[int]:
+        return [d.client for d in self.spiders]
+
+    def proxy_clients(self) -> List[int]:
+        return [d.client for d in self.proxies]
+
+
+def _candidate_features(
+    log: WebLog,
+    cluster_set: ClusterSet,
+    profiles: Dict[int, ClientProfile],
+    min_requests: int,
+) -> List[Tuple[ClientProfile, Cluster, float, float]]:
+    """Yield (profile, cluster, cluster share, diurnal correlation) for
+    every client busy enough to matter."""
+    overall = arrival_histogram(log)
+    features = []
+    for cluster in cluster_set.clusters:
+        if cluster.requests <= 0:
+            continue
+        for client in cluster.clients:
+            profile = profiles.get(client)
+            if profile is None or profile.requests < min_requests:
+                continue
+            share = profile.requests / cluster.requests
+            correlation = pattern_correlation(profile.histogram, overall)
+            features.append((profile, cluster, share, correlation))
+    return features
+
+
+def detect_spiders(
+    log: WebLog,
+    cluster_set: ClusterSet,
+    min_request_fraction: float = 0.01,
+    min_url_coverage: float = 0.10,
+    max_diurnal_correlation: float = 0.5,
+    min_dominance: float = 5.0,
+) -> List[Detection]:
+    """Find suspected spiders (§4.1.2's combined test).
+
+    A candidate must (a) issue at least ``min_request_fraction`` of the
+    log's requests, (b) touch at least ``min_url_coverage`` of the
+    site's unique URLs, (c) show the paper's "uneven distribution of
+    requests within the cluster" — at least ``min_dominance`` times the
+    requests of the cluster's second-busiest client — and (d) have an
+    arrival pattern uncorrelated with the log's diurnal shape.
+    """
+    profiles = profile_clients(log)
+    site_urls = max(1, log.unique_urls())
+    min_requests = max(10, int(len(log) * min_request_fraction))
+    # Top-two request counts per cluster, for the dominance test.
+    top_two: Dict[int, Tuple[int, int]] = {}
+    for cluster in cluster_set.clusters:
+        counts = sorted(
+            (profiles[c].requests for c in cluster.clients if c in profiles),
+            reverse=True,
+        )
+        top_two[id(cluster)] = (
+            counts[0] if counts else 0,
+            counts[1] if len(counts) > 1 else 0,
+        )
+    detections: List[Detection] = []
+    for profile, cluster, share, corr in _candidate_features(
+        log, cluster_set, profiles, min_requests
+    ):
+        coverage = profile.unique_urls / site_urls
+        if coverage < min_url_coverage:
+            continue
+        first, second = top_two.get(id(cluster), (0, 0))
+        # The candidate must dominate everyone else in its cluster.
+        busiest_other = second if profile.requests >= first else first
+        if busiest_other and profile.requests < min_dominance * busiest_other:
+            continue
+        if corr > max_diurnal_correlation:
+            continue
+        score = coverage * share * (1.0 - max(corr, 0.0))
+        detections.append(
+            Detection(
+                client=profile.client,
+                kind="spider",
+                cluster_prefix=cluster.identifier.cidr,
+                requests=profile.requests,
+                unique_urls=profile.unique_urls,
+                request_share_of_cluster=share,
+                diurnal_correlation=corr,
+                user_agents=len(profile.user_agents),
+                mean_think_seconds=profile.mean_think_seconds,
+                score=score,
+            )
+        )
+    detections.sort(key=lambda d: -d.score)
+    return detections
+
+
+def detect_proxies(
+    log: WebLog,
+    cluster_set: ClusterSet,
+    min_request_fraction: float = 0.01,
+    min_diurnal_correlation: float = 0.5,
+    min_user_agents: int = 3,
+    max_think_seconds: Optional[float] = None,
+) -> List[Detection]:
+    """Find suspected proxies.
+
+    A candidate issues many requests whose arrival pattern tracks the
+    log's diurnal shape, with short think times; multiple distinct
+    User-Agent strings (when logged) corroborate (§4.1.2's note on the
+    User-Agent field).
+
+    ``max_think_seconds`` defaults to 1/200 of the log's duration (with
+    a 300 s floor): "short think time" is relative to how long the log
+    runs — a proxy in a 10-day log still averages minutes between
+    requests while remaining far busier than any single user.
+    """
+    profiles = profile_clients(log)
+    min_requests = max(10, int(len(log) * min_request_fraction))
+    if max_think_seconds is None:
+        max_think_seconds = max(300.0, log.duration_seconds() / 200.0)
+    detections: List[Detection] = []
+    for profile, cluster, share, corr in _candidate_features(
+        log, cluster_set, profiles, min_requests
+    ):
+        if corr < min_diurnal_correlation:
+            continue
+        if profile.mean_think_seconds > max_think_seconds:
+            continue
+        has_ua_signal = len(profile.user_agents) >= min_user_agents
+        if not has_ua_signal:
+            continue
+        score = corr * min(1.0, profile.requests / max(1, min_requests * 10))
+        detections.append(
+            Detection(
+                client=profile.client,
+                kind="proxy",
+                cluster_prefix=cluster.identifier.cidr,
+                requests=profile.requests,
+                unique_urls=profile.unique_urls,
+                request_share_of_cluster=share,
+                diurnal_correlation=corr,
+                user_agents=len(profile.user_agents),
+                mean_think_seconds=profile.mean_think_seconds,
+                score=score,
+            )
+        )
+    detections.sort(key=lambda d: -d.score)
+    return detections
+
+
+def classify_clients(log: WebLog, cluster_set: ClusterSet) -> DetectionReport:
+    """Run both detectors; a client flagged as spider is never also a
+    proxy (the spider signature is the stronger claim)."""
+    spiders = detect_spiders(log, cluster_set)
+    spider_set = {d.client for d in spiders}
+    proxies = [
+        d for d in detect_proxies(log, cluster_set) if d.client not in spider_set
+    ]
+    return DetectionReport(spiders=spiders, proxies=proxies)

@@ -1,0 +1,94 @@
+"""Busy-cluster thresholding (§4.1.3, Table 5).
+
+After spiders and proxies are eliminated, the paper keeps only *busy*
+clusters: sort clusters in reverse order of requests and retain the
+smallest prefix of that order whose summed requests reach 70 % of the
+log's total.  The threshold row of Table 5 is the request count of the
+smallest retained cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.clustering import Cluster, ClusterSet
+
+__all__ = ["ThresholdReport", "threshold_busy_clusters"]
+
+
+@dataclass
+class ThresholdReport:
+    """One thresholding outcome (one column of Table 5)."""
+
+    method: str
+    total_clusters: int
+    request_share: float
+    busy: List[Cluster]
+    less_busy: List[Cluster]
+
+    @property
+    def threshold_requests(self) -> int:
+        """Requests issued by the smallest busy cluster."""
+        return self.busy[-1].requests if self.busy else 0
+
+    @property
+    def busy_clients(self) -> int:
+        return sum(c.num_clients for c in self.busy)
+
+    @property
+    def busy_requests(self) -> int:
+        return sum(c.requests for c in self.busy)
+
+    def busy_range(self) -> Tuple[int, int, int, int]:
+        """(min requests, max requests, min clients, max clients) of the
+        busy clusters."""
+        if not self.busy:
+            return (0, 0, 0, 0)
+        requests = [c.requests for c in self.busy]
+        clients = [c.num_clients for c in self.busy]
+        return (min(requests), max(requests), min(clients), max(clients))
+
+    def less_busy_range(self) -> Tuple[int, int, int, int]:
+        """Same, for the filtered-out clusters."""
+        if not self.less_busy:
+            return (0, 0, 0, 0)
+        requests = [c.requests for c in self.less_busy]
+        clients = [c.num_clients for c in self.less_busy]
+        return (min(requests), max(requests), min(clients), max(clients))
+
+    def describe(self) -> str:
+        rq = self.busy_range()
+        return (
+            f"{self.method}: {len(self.busy)} busy of {self.total_clusters} "
+            f"clusters ({self.busy_clients:,} clients, "
+            f"{self.busy_requests:,} requests, threshold "
+            f"{self.threshold_requests:,}, range {rq[0]:,}–{rq[1]:,})"
+        )
+
+
+def threshold_busy_clusters(
+    cluster_set: ClusterSet, request_share: float = 0.70
+) -> ThresholdReport:
+    """Retain the busiest clusters covering ``request_share`` of all
+    requests (the paper's 70 % rule)."""
+    if not 0.0 < request_share <= 1.0:
+        raise ValueError(f"request share must be in (0, 1]: {request_share!r}")
+    ordered = cluster_set.sorted_by_requests()
+    total_requests = sum(c.requests for c in ordered)
+    target = total_requests * request_share
+    busy: List[Cluster] = []
+    accumulated = 0
+    for cluster in ordered:
+        if accumulated >= target:
+            break
+        busy.append(cluster)
+        accumulated += cluster.requests
+    less_busy = ordered[len(busy):]
+    return ThresholdReport(
+        method=cluster_set.method,
+        total_clusters=len(cluster_set),
+        request_share=request_share,
+        busy=busy,
+        less_busy=less_busy,
+    )

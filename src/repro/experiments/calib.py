@@ -1,0 +1,64 @@
+"""Calibration report: the synthetic world vs. the paper's targets.
+
+Not a paper artifact — a transparency report.  Every number the
+substitutions in DESIGN.md promise to preserve is measured here against
+its paper target, so drift from retuning is visible in one place.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bgp.sources import source_by_name
+from repro.core.metrics import prefix_length_histogram
+from repro.experiments.context import ExperimentContext
+from repro.util.tables import render_table
+
+NAME = "calib"
+TITLE = "World calibration vs paper targets"
+PAPER = "Each row: a quantity the substitution promises to preserve."
+
+
+def run(ctx: ExperimentContext) -> str:
+    rows = []
+
+    # NAP-table /24 share and short/long asymmetry (Fig 1).
+    snapshot = ctx.factory.snapshot(source_by_name("MAE-WEST"))
+    histogram = snapshot.prefix_length_histogram()
+    total = sum(histogram.values())
+    shorter = sum(c for length, c in histogram.items() if length < 24)
+    longer = sum(c for length, c in histogram.items() if length > 24)
+    rows.append(["NAP /24 share", "~52%", f"{histogram.get(24, 0) / total:.0%}"])
+    rows.append(["NAP short:long non-/24 ratio", ">> 1",
+                 f"{shorter / max(1, longer):.0f}:1"])
+
+    # Client resolvability (§3.3's ~50 %).
+    log = ctx.log("nagano").log
+    clients = log.clients()
+    rng = random.Random(ctx.seed)
+    sample = rng.sample(clients, min(800, len(clients)))
+    resolvable = sum(1 for c in sample if ctx.dns.is_resolvable(c))
+    rows.append(["client nslookup resolvability", "~50%",
+                 f"{resolvable / len(sample):.0%}"])
+
+    # Clusterable-client coverage (§3.2.2's 99.9 %).
+    clusters = ctx.clusters("nagano")
+    rows.append(["clusterable clients", ">= 99.9%",
+                 f"{clusters.clustered_fraction:.2%}"])
+
+    # Sampled-cluster /24 share (Table 3's ~49 %).
+    lengths = prefix_length_histogram(clusters)
+    cluster_total = sum(lengths.values())
+    rows.append(["cluster-prefix /24 share", "~49%",
+                 f"{lengths.get(24, 0) / cluster_total:.0%}"])
+    rows.append(["cluster-prefix length range", "8 - 29",
+                 f"{min(lengths)} - {max(lengths)}"])
+
+    # Merged table vs biggest single source (§3.1.2: merging helps).
+    oregon = len(ctx.factory.snapshot(source_by_name("OREGON")))
+    rows.append(["merged / biggest single table", "> 1",
+                 f"{len(ctx.merged_table) / oregon:.1f}x"])
+
+    table = render_table(["quantity", "paper target", "measured"], rows,
+                         title=TITLE)
+    return f"{table}\n\n{PAPER}"

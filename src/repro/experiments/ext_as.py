@@ -1,0 +1,55 @@
+"""Extension: AS-level cluster grouping (§4.1.4 / conclusion's ongoing
+work, implemented).
+
+Groups the Nagano clusters by the origin AS of their identifying route
+(zero probes) and compares against the traceroute-based second-level
+clustering of §3.6; also lists merge candidates — same-AS adjacent
+clusters that are likely fragments of one network.
+"""
+
+from __future__ import annotations
+
+from repro.core.asclusters import as_merge_candidates, group_clusters_by_as
+from repro.core.netclusters import cluster_networks
+from repro.experiments.context import ExperimentContext
+from repro.util.tables import render_table
+
+NAME = "ext-as"
+TITLE = "AS-level grouping of client clusters (probe-free)"
+PAPER = (
+    "Paper (ongoing work): use AS information to reduce the error "
+    "ratio; §4.1.4 groups proxies into proxy clusters by AS."
+)
+
+
+def run(ctx: ExperimentContext) -> str:
+    clusters = ctx.clusters("nagano")
+    by_as = group_clusters_by_as(clusters, ctx.merged_table)
+    by_path = cluster_networks(clusters, ctx.traceroute, level=3)
+
+    parts = [TITLE, PAPER, ""]
+    parts.append(
+        f"{len(clusters)} clusters -> {len(by_as)} AS groups "
+        f"(0 probes) vs {len(by_path)} AS-core path groups "
+        f"({by_path.probes_used} probes)"
+    )
+    rows = [
+        [f"AS{group.asn}" if group.asn > 0 else "(unattributed)",
+         group.num_clusters, group.num_clients, f"{group.requests:,}"]
+        for group in by_as.sorted_by_requests()[:10]
+    ]
+    parts.append("")
+    parts.append(render_table(
+        ["origin AS", "clusters", "clients", "requests"],
+        rows,
+        title="top AS groups by demand",
+    ))
+    candidates = as_merge_candidates(clusters, ctx.merged_table)
+    parts.append("")
+    parts.append(
+        f"merge candidates (same-AS adjacent cluster pairs): "
+        f"{len(candidates)}"
+    )
+    for left, right in candidates[:6]:
+        parts.append(f"  {left.identifier.cidr} + {right.identifier.cidr}")
+    return "\n".join(parts)

@@ -1,0 +1,75 @@
+"""Extension: AS-path analysis of the collected snapshots (§3.1.1's
+"AS number and path information can also provide hints").
+
+Mines the AS-level graph from the BGP snapshots' paths, reports the
+path-length distribution and the transit hubs, and measures AS-hop
+distances from the busiest client clusters' origin ASes to a candidate
+server AS — a probe-free closeness signal for placement.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.aspath import build_as_graph, path_length_histogram
+from repro.bgp.table import KIND_REGISTRY
+from repro.core.asclusters import group_clusters_by_as
+from repro.experiments.context import ExperimentContext
+from repro.util.ascii_plot import ascii_histogram
+from repro.util.tables import render_table
+
+NAME = "ext-aspath"
+TITLE = "AS-path graph: path lengths, hubs, and cluster-to-origin distances"
+PAPER = (
+    "Paper (§3.1.1): routing tables carry AS paths; the AS number and "
+    "path information hint at client location/closeness."
+)
+
+
+def run(ctx: ExperimentContext) -> str:
+    tables = [
+        ctx.factory.snapshot(source)
+        for source in ctx.factory.sources
+        if source.kind != KIND_REGISTRY
+    ]
+    graph = build_as_graph(tables)
+    lengths = path_length_histogram(tables)
+
+    parts = [TITLE, PAPER, ""]
+    ordered_lengths = sorted(lengths)
+    parts.append(
+        ascii_histogram(
+            [str(length) for length in ordered_lengths],
+            [lengths[length] for length in ordered_lengths],
+            title="AS-path length distribution (all BGP snapshots)",
+        )
+    )
+    parts.append("")
+    hub_rows = [
+        [f"AS{asn}", degree,
+         ctx.topology.ases[asn].kind if asn in ctx.topology.ases else "?"]
+        for asn, degree in graph.hubs(5)
+    ]
+    parts.append(render_table(
+        ["AS", "degree", "kind"], hub_rows, title="transit hubs by degree"
+    ))
+
+    # Probe-free closeness: AS-hop distance from busy client ASes to a
+    # candidate origin AS.
+    clusters = ctx.clusters("nagano")
+    by_as = group_clusters_by_as(clusters, ctx.merged_table)
+    origin_asn = graph.hubs(1)[0][0]
+    rows = []
+    for group in by_as.sorted_by_requests()[:8]:
+        if group.asn <= 0:
+            continue
+        distance = graph.distance(group.asn, origin_asn)
+        rows.append(
+            [f"AS{group.asn}", f"{group.requests:,}",
+             "-" if distance is None else distance]
+        )
+    parts.append("")
+    parts.append(render_table(
+        ["client AS", "requests", f"AS hops to AS{origin_asn}"],
+        rows,
+        title="busiest client ASes vs candidate origin",
+    ))
+    return "\n".join(parts)

@@ -1,0 +1,55 @@
+"""Extension: selective-sampling validation (§3.3's proposed future
+work, implemented).
+
+Compares the strict one-bad-client-fails test with the tolerant
+5 %-threshold test in both client-based and request-based modes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.selective import MODE_CLIENT, MODE_REQUEST, selective_validate
+from repro.core.validation import nslookup_validate, sample_clusters
+from repro.experiments.context import ExperimentContext
+from repro.util.tables import render_table
+from repro.weblog.stats import requests_by_client
+
+NAME = "ext-selective"
+TITLE = "Selective-sampling validation (5% tolerance, client/request based)"
+PAPER = (
+    "Paper proposes (future work): tolerate up to 5% disagreeing "
+    "clients per cluster; weigh client- or request-based."
+)
+
+
+def run(ctx: ExperimentContext) -> str:
+    rows = []
+    for preset in ("apache", "nagano", "sun"):
+        clusters = ctx.clusters(preset)
+        rng = random.Random(ctx.seed + 3)
+        sample = sample_clusters(clusters, 0.10, rng, minimum=30)
+        counts = requests_by_client(ctx.log(preset).log)
+        strict = nslookup_validate(sample, ctx.dns, ctx.topology)
+        client_based = selective_validate(
+            sample, ctx.dns, tolerance=0.05, mode=MODE_CLIENT
+        )
+        request_based = selective_validate(
+            sample, ctx.dns, tolerance=0.05, mode=MODE_REQUEST,
+            request_counts=counts,
+        )
+        rows.append(
+            [
+                preset,
+                len(sample),
+                f"{strict.pass_rate:.1%}",
+                f"{client_based.pass_rate:.1%}",
+                f"{request_based.pass_rate:.1%}",
+            ]
+        )
+    table = render_table(
+        ["log", "sampled", "strict", "tolerant (client)", "tolerant (request)"],
+        rows,
+        title=TITLE,
+    )
+    return f"{table}\n\n{PAPER}"

@@ -1,0 +1,65 @@
+"""Figure 1: distribution of prefix lengths in a NAP routing table.
+
+Paper: Mae-West snapshots, July 3–6 1999 — ~50 % of prefixes are /24,
+noticeably more shorter-than-24 entries than longer, and day-to-day
+counts nearly constant.  We regenerate both panels from the synthetic
+MAE-WEST source.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.sources import source_by_name
+from repro.bgp.synth import SnapshotTime
+from repro.experiments.context import ExperimentContext
+from repro.util.ascii_plot import ascii_histogram
+from repro.util.tables import render_table
+
+NAME = "fig1"
+TITLE = "Prefix-length distribution of a NAP routing table (MAE-WEST)"
+PAPER = (
+    "Paper: ~50% of prefixes are /24; more prefixes shorter than /24 "
+    "than longer; counts stable across 4 consecutive days."
+)
+
+
+def run(ctx: ExperimentContext) -> str:
+    source = source_by_name("MAE-WEST")
+    days = (0, 1, 2, 3)
+    histograms = {}
+    for day in days:
+        snapshot = ctx.factory.snapshot(source, SnapshotTime(day=day))
+        histograms[day] = snapshot.prefix_length_histogram()
+
+    lengths = sorted({length for hist in histograms.values() for length in hist})
+    day0 = histograms[0]
+    total0 = sum(day0.values())
+
+    parts = [TITLE, PAPER, ""]
+    parts.append(
+        ascii_histogram(
+            [f"/{length}" for length in lengths],
+            [day0.get(length, 0) for length in lengths],
+            title="(a) histogram of prefix lengths, day 0",
+        )
+    )
+    share_24 = day0.get(24, 0) / total0 if total0 else 0.0
+    shorter = sum(count for length, count in day0.items() if length < 24)
+    longer = sum(count for length, count in day0.items() if length > 24)
+    parts.append("")
+    parts.append(
+        f"/24 share: {share_24:.1%}   shorter than /24: {shorter}   "
+        f"longer than /24: {longer}"
+    )
+    parts.append("")
+    rows = [
+        [f"day {day}"] + [histograms[day].get(length, 0) for length in lengths]
+        for day in days
+    ]
+    parts.append(
+        render_table(
+            ["date"] + [f"/{length}" for length in lengths],
+            rows,
+            title="(b) prefix-length distribution over four days",
+        )
+    )
+    return "\n".join(parts)

@@ -1,0 +1,58 @@
+"""Figure 3: cumulative distributions of clients and requests per
+cluster (Nagano log).
+
+Paper: >95 % of clusters contain fewer than 100 clients; ~90 % issue
+fewer than 1,000 requests; the request CDF is more heavy-tailed than
+the client CDF; largest cluster 1,343 clients, busiest 339,632
+requests.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import fraction_below
+from repro.experiments.context import ExperimentContext
+from repro.util.ascii_plot import ascii_cdf
+
+NAME = "fig3"
+TITLE = "CDF of clients and requests per client cluster (Nagano)"
+PAPER = (
+    "Paper: >95% of clusters have <100 clients; ~90% issue <1,000 "
+    "requests; requests are more heavy-tailed than clients."
+)
+
+
+def run(ctx: ExperimentContext) -> str:
+    clusters = ctx.clusters("nagano")
+    clients = [c.num_clients for c in clusters]
+    requests = [c.requests for c in clusters]
+    # The paper's thresholds are absolute; our logs are scaled down, so
+    # report both the paper's absolute cut and a scale-adjusted one.
+    client_cut = 100
+    request_cut = 1000
+    parts = [TITLE, PAPER, ""]
+    parts.append(
+        f"clusters: {len(clusters)}, largest {max(clients)} clients, "
+        f"busiest {max(requests):,} requests"
+    )
+    parts.append(
+        f"clusters with < {client_cut} clients: "
+        f"{fraction_below(clients, client_cut):.1%}"
+    )
+    parts.append(
+        f"clusters with < {request_cut:,} requests: "
+        f"{fraction_below(requests, request_cut):.1%}"
+    )
+    # Heavy-tail comparison: top-1% share of each distribution.
+    top = max(1, len(clusters) // 100)
+    client_share = sum(sorted(clients, reverse=True)[:top]) / max(1, sum(clients))
+    request_share = sum(sorted(requests, reverse=True)[:top]) / max(1, sum(requests))
+    parts.append(
+        f"top-1% clusters hold {client_share:.1%} of clients vs "
+        f"{request_share:.1%} of requests (requests more heavy-tailed: "
+        f"{request_share > client_share})"
+    )
+    parts.append("")
+    parts.append(ascii_cdf(clients, title="(a) CDF of clients per cluster (log x)"))
+    parts.append("")
+    parts.append(ascii_cdf(requests, title="(b) CDF of requests per cluster (log x)"))
+    return "\n".join(parts)

@@ -1,0 +1,72 @@
+"""Figure 4: Nagano cluster distributions in reverse order of clients.
+
+Paper: aligned series (clients, requests, URLs) per cluster; larger
+clusters usually issue more requests, but some *small* clusters issue
+~1 % of all requests and touch ~20 % of all URLs — the spider/proxy
+signature.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import distributions
+from repro.experiments.context import ExperimentContext
+from repro.util.ascii_plot import ascii_series
+from repro.util.tables import render_table
+
+NAME = "fig4"
+TITLE = "Cluster distributions, reverse order of #clients (Nagano)"
+PAPER = (
+    "Paper: small clusters exist that issue ~1% of total requests and/or "
+    "touch ~20% of all URLs (suspected spiders/proxies)."
+)
+
+
+def run(ctx: ExperimentContext) -> str:
+    clusters = ctx.clusters("nagano")
+    dist = distributions(clusters, order_by="clients")
+    total_requests = sum(dist.requests)
+    site_urls = ctx.log("nagano").log.unique_urls()
+
+    parts = [TITLE, PAPER, ""]
+    head = [
+        [rank + 1, dist.identifiers[rank], dist.clients[rank],
+         dist.requests[rank], dist.unique_urls[rank]]
+        for rank in range(min(12, len(dist.clients)))
+    ]
+    parts.append(
+        render_table(
+            ["rank", "cluster", "clients", "requests", "urls"],
+            head,
+            title="largest clusters (aligned series head)",
+        )
+    )
+    # Paper's anomaly: small clusters with outsized requests/URLs.
+    anomalies = [
+        (dist.identifiers[i], dist.clients[i], dist.requests[i],
+         dist.unique_urls[i])
+        for i in range(len(dist.clients))
+        if dist.clients[i] <= 5
+        and (
+            dist.requests[i] >= 0.01 * total_requests
+            or dist.unique_urls[i] >= 0.2 * site_urls
+        )
+    ]
+    parts.append("")
+    parts.append(
+        f"small clusters (<=5 clients) with >=1% of requests or >=20% of "
+        f"URLs: {len(anomalies)}"
+    )
+    for identifier, clients, requests, urls in anomalies[:8]:
+        parts.append(
+            f"  {identifier}: {clients} clients, {requests:,} requests "
+            f"({requests / total_requests:.1%}), {urls} URLs "
+            f"({urls / site_urls:.0%} of site)"
+        )
+    parts.append("")
+    parts.append(ascii_series(dist.clients, log_x=True, log_y=True,
+                              title="(a) clients per cluster"))
+    parts.append(ascii_series(dist.requests, log_x=True, log_y=True,
+                              title="(b) requests per cluster"))
+    parts.append(ascii_series(dist.unique_urls, log_x=True, log_y=True,
+                              title="(c) URLs per cluster"))
+    return "\n".join(parts)

@@ -1,0 +1,58 @@
+"""Figure 5: the same Nagano series re-sorted in reverse order of
+requests.
+
+Paper: busy clusters usually have many clients and touch many URLs, but
+some busy clusters have very few clients (proxy/spider signature); the
+request distribution is more heavy-tailed than the client one.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import distributions
+from repro.experiments.context import ExperimentContext
+from repro.util.ascii_plot import ascii_series
+from repro.util.tables import render_table
+
+NAME = "fig5"
+TITLE = "Cluster distributions, reverse order of #requests (Nagano)"
+PAPER = (
+    "Paper: busiest clusters mostly have many clients, but a few busy "
+    "clusters contain very few clients — candidate proxies/spiders."
+)
+
+
+def run(ctx: ExperimentContext) -> str:
+    clusters = ctx.clusters("nagano")
+    dist = distributions(clusters, order_by="requests")
+    parts = [TITLE, PAPER, ""]
+    head = [
+        [rank + 1, dist.identifiers[rank], dist.requests[rank],
+         dist.clients[rank], dist.unique_urls[rank]]
+        for rank in range(min(12, len(dist.requests)))
+    ]
+    parts.append(
+        render_table(
+            ["rank", "cluster", "requests", "clients", "urls"],
+            head,
+            title="busiest clusters (aligned series head)",
+        )
+    )
+    few_client_busy = [
+        (dist.identifiers[i], dist.requests[i], dist.clients[i])
+        for i in range(min(25, len(dist.requests)))
+        if dist.clients[i] <= 3
+    ]
+    parts.append("")
+    parts.append(
+        f"busy clusters (top 25) with <=3 clients: {len(few_client_busy)}"
+    )
+    for identifier, requests, clients in few_client_busy:
+        parts.append(f"  {identifier}: {requests:,} requests from {clients} clients")
+    parts.append("")
+    parts.append(ascii_series(dist.requests, log_x=True, log_y=True,
+                              title="(a) requests per cluster"))
+    parts.append(ascii_series(dist.clients, log_x=True, log_y=True,
+                              title="(b) clients per cluster"))
+    parts.append(ascii_series(dist.unique_urls, log_x=True, log_y=True,
+                              title="(c) URLs per cluster"))
+    return "\n".join(parts)

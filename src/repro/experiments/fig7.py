@@ -1,0 +1,82 @@
+"""Figure 7: network-aware vs simple cluster distributions (Nagano).
+
+Paper: the simple approach yields 23,523 clusters vs 9,853 network-
+aware; its largest cluster holds only 63 hosts (0.08 % of requests) vs
+1,343 hosts (1.15 %); simple clusters are capped at 256 clients and
+have smaller mean and variance.
+"""
+
+from __future__ import annotations
+
+from repro.core.clustering import METHOD_SIMPLE
+from repro.core.metrics import distributions, summary
+from repro.experiments.context import ExperimentContext
+from repro.util.ascii_plot import ascii_series
+from repro.util.tables import render_table
+
+NAME = "fig7"
+TITLE = "Network-aware vs simple cluster distributions (Nagano)"
+PAPER = (
+    "Paper: simple yields ~2.4x more clusters; simple's largest cluster "
+    "is ~20x smaller in clients and ~14x smaller in request share; "
+    "simple's mean and variance of cluster size are both smaller."
+)
+
+
+def run(ctx: ExperimentContext) -> str:
+    aware = ctx.clusters("nagano")
+    simple = ctx.clusters("nagano", METHOD_SIMPLE)
+    s_aware, s_simple = summary(aware), summary(simple)
+    total_requests = aware.total_requests
+
+    biggest_aware = max(aware.clusters, key=lambda c: c.num_clients)
+    biggest_simple = max(simple.clusters, key=lambda c: c.num_clients)
+
+    rows = [
+        ["number of clusters", s_aware.num_clusters, s_simple.num_clusters],
+        ["largest cluster (clients)", s_aware.max_clients, s_simple.max_clients],
+        [
+            "largest cluster requests",
+            f"{biggest_aware.requests:,} "
+            f"({biggest_aware.requests / total_requests:.2%})",
+            f"{biggest_simple.requests:,} "
+            f"({biggest_simple.requests / total_requests:.2%})",
+        ],
+        ["mean cluster size", f"{s_aware.mean_clients:.2f}",
+         f"{s_simple.mean_clients:.2f}"],
+        ["variance of cluster size", f"{s_aware.variance_clients:.1f}",
+         f"{s_simple.variance_clients:.1f}"],
+        ["max possible cluster size", "unbounded", "256 (/24 cap)"],
+    ]
+    parts = [TITLE, PAPER, ""]
+    parts.append(render_table(["metric", "network-aware", "simple"], rows))
+    checks = [
+        ("simple produces more clusters",
+         s_simple.num_clusters > s_aware.num_clusters),
+        ("network-aware largest cluster is bigger",
+         s_aware.max_clients > s_simple.max_clients),
+        ("simple mean size smaller",
+         s_simple.mean_clients < s_aware.mean_clients),
+        ("simple variance smaller",
+         s_simple.variance_clients < s_aware.variance_clients),
+    ]
+    parts.append("")
+    for claim, holds in checks:
+        parts.append(f"  [{'ok' if holds else 'MISMATCH'}] {claim}")
+    for order in ("clients", "requests"):
+        d_aware = distributions(aware, order_by=order)
+        d_simple = distributions(simple, order_by=order)
+        parts.append("")
+        parts.append(
+            ascii_series(d_aware.clients if order == "clients"
+                         else d_aware.requests,
+                         log_x=True, log_y=True,
+                         title=f"network-aware, reverse order of {order}")
+        )
+        parts.append(
+            ascii_series(d_simple.clients if order == "clients"
+                         else d_simple.requests,
+                         log_x=True, log_y=True,
+                         title=f"simple, reverse order of {order}")
+        )
+    return "\n".join(parts)

@@ -1,0 +1,133 @@
+"""Experiment harness CLI.
+
+``python -m repro.experiments <id> [<id> ...]`` regenerates the named
+paper tables/figures; ``all`` runs everything in paper order.  The
+``--scale`` knob grows/shrinks the synthetic logs, ``--seed`` changes
+the generated world.  Output is plain text: one block per experiment,
+with the paper's reference claims quoted for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    calib,
+    ext_as,
+    ext_aspath,
+    ext_coverage,
+    ext_census,
+    ext_coop,
+    ext_multiserver,
+    ext_placement,
+    ext_realtime,
+    ext_selective,
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    sec32,
+    sec33,
+    sec35,
+    sec36,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+_MODULES = (
+    fig1, table1, table2, fig3, fig4, fig5, fig6, table3, fig7,
+    table4, sec32, sec33, sec35, sec36, fig9, fig10, table5, fig11, fig12,
+    ext_selective, ext_as, ext_realtime, ext_multiserver,
+    ext_placement, ext_census, ext_aspath, ext_coverage, ext_coop, calib,
+)
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], str]] = {
+    module.NAME: module.run for module in _MODULES
+}
+
+TITLES: Dict[str, str] = {module.NAME: module.TITLE for module in _MODULES}
+
+
+def run_experiment(name: str, ctx: ExperimentContext) -> str:
+    """Run one experiment by id and return its rendered output."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner(ctx)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (e.g. fig3 table4) or 'all'",
+    )
+    parser.add_argument("--seed", type=int, default=2000)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (1.0 = default experiment size)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's text to DIR/<id>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.ids == ["all"] or "all" in args.ids else args.ids
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+
+    ctx = ExperimentContext(seed=args.seed, scale=args.scale)
+    output_dir = None
+    if args.output:
+        import os
+
+        output_dir = args.output
+        os.makedirs(output_dir, exist_ok=True)
+    for name in names:
+        started = time.time()
+        output = run_experiment(name, ctx)
+        elapsed = time.time() - started
+        print("=" * 78)
+        print(f"[{name}] {TITLES[name]}  ({elapsed:.1f}s)")
+        print("=" * 78)
+        print(output)
+        print()
+        if output_dir is not None:
+            import os
+
+            with open(os.path.join(output_dir, f"{name}.txt"), "w") as handle:
+                handle.write(f"[{name}] {TITLES[name]}\n\n{output}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

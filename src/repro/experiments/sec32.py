@@ -1,0 +1,46 @@
+"""§3.2.2 headline numbers: clusterable-client coverage.
+
+Paper: the merged table clusters ≥ 99.9 % of clients in every log; the
+secondary registry dumps lift coverage from ~99 % to 99.9 %, with < 1 %
+of clients clustered by registry-only prefixes.
+"""
+
+from __future__ import annotations
+
+from repro.core.clustering import cluster_log
+from repro.experiments.context import ExperimentContext
+from repro.util.tables import render_table
+
+NAME = "sec32"
+TITLE = "Clusterable-client coverage (with/without registry dumps)"
+PAPER = (
+    "Paper: >=99.9% of clients clusterable; BGP-only coverage ~99%; "
+    "<1% of clients clustered via registry-only prefixes."
+)
+
+_LOGS = ("apache", "ew3", "nagano", "sun")
+
+
+def run(ctx: ExperimentContext) -> str:
+    bgp_only = ctx.factory.merged_without_registry()
+    rows = []
+    for preset in _LOGS:
+        full = ctx.clusters(preset)
+        partial = cluster_log(ctx.log(preset).log, bgp_only)
+        registry_clients = full.registry_clustered_clients()
+        rows.append(
+            [
+                preset,
+                full.num_clients,
+                f"{100 * full.clustered_fraction:.2f}%",
+                f"{100 * partial.clustered_fraction:.2f}%",
+                f"{100 * registry_clients / max(1, full.num_clients):.2f}%",
+            ]
+        )
+    table = render_table(
+        ["log", "clients", "clustered (merged)", "clustered (BGP only)",
+         "via registry prefixes"],
+        rows,
+        title=TITLE,
+    )
+    return f"{table}\n\n{PAPER}"

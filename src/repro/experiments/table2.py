@@ -1,0 +1,29 @@
+"""Table 2: an example BGP routing-table snapshot (VBNS).
+
+Illustrative in the paper: a handful of rows showing prefix, next hop,
+and AS path.  We print the first rows of the synthetic VBNS snapshot.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.sources import source_by_name
+from repro.experiments.context import ExperimentContext
+from repro.util.tables import render_table
+
+NAME = "table2"
+TITLE = "Example snapshot of a BGP routing table (VBNS)"
+PAPER = "Paper shows 4 illustrative rows with prefix, next hop, AS path."
+
+
+def run(ctx: ExperimentContext) -> str:
+    snapshot = ctx.factory.snapshot(source_by_name("VBNS"))
+    rows = []
+    for prefix in snapshot.prefixes()[:8]:
+        entry = snapshot.get(prefix)
+        path = " ".join(str(asn) for asn in entry.as_path) + " (IGP)"
+        rows.append([prefix.cidr, entry.description, entry.next_hop, path])
+    return render_table(
+        ["prefix", "prefix description", "next hop", "AS path"],
+        rows,
+        title=TITLE,
+    )

@@ -1,0 +1,172 @@
+"""Set algebra over IPv4 address space.
+
+Analyses keep asking set questions about prefixes: how much address
+space does a snapshot cover?  Which announced space did a withdrawal
+remove?  Does a cluster identifier fall inside the space two tables
+agree on?  :class:`PrefixSet` answers them with exact arithmetic on a
+normalised list of disjoint CIDR blocks:
+
+* construction normalises (dedupe, drop covered, merge siblings), so
+  equality is structural equality of covered space;
+* union / intersection / difference / complement are closed and exact;
+* ``num_addresses`` never double-counts overlapping inputs.
+
+Everything is value-semantic and immutable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.net.aggregate import aggregate_prefixes
+from repro.net.prefix import DEFAULT_ROUTE, Prefix
+
+__all__ = ["PrefixSet"]
+
+
+class PrefixSet:
+    """An immutable set of IPv4 addresses, stored as disjoint CIDRs."""
+
+    __slots__ = ("_blocks",)
+
+    def __init__(self, prefixes: Iterable[Prefix] = ()) -> None:
+        self._blocks: Tuple[Prefix, ...] = tuple(aggregate_prefixes(prefixes))
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def universe(cls) -> "PrefixSet":
+        """The whole IPv4 space (0.0.0.0/0)."""
+        return cls([DEFAULT_ROUTE])
+
+    @classmethod
+    def empty(cls) -> "PrefixSet":
+        return cls()
+
+    # -- basics ----------------------------------------------------------------
+
+    @property
+    def blocks(self) -> Tuple[Prefix, ...]:
+        """The normalised disjoint blocks, in address order."""
+        return self._blocks
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __bool__(self) -> bool:
+        return bool(self._blocks)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrefixSet):
+            return NotImplemented
+        return self._blocks == other._blocks
+
+    def __hash__(self) -> int:
+        return hash(self._blocks)
+
+    def __repr__(self) -> str:
+        inside = ", ".join(p.cidr for p in self._blocks[:4])
+        suffix = ", ..." if len(self._blocks) > 4 else ""
+        return f"PrefixSet([{inside}{suffix}])"
+
+    @property
+    def num_addresses(self) -> int:
+        """Exact number of addresses covered (no double counting)."""
+        return sum(block.num_addresses for block in self._blocks)
+
+    def contains_address(self, address: int) -> bool:
+        # Blocks are disjoint and sorted: binary search by network.
+        lo, hi = 0, len(self._blocks) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            block = self._blocks[mid]
+            if address < block.network:
+                hi = mid - 1
+            elif address > block.last_address:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def contains_prefix(self, prefix: Prefix) -> bool:
+        """True when every address of ``prefix`` is covered.
+
+        Because blocks are normalised (maximally merged), a fully
+        covered prefix is always inside a single block.
+        """
+        for block in self._blocks:
+            if block.contains_prefix(prefix):
+                return True
+        return False
+
+    # -- algebra -----------------------------------------------------------------
+
+    def union(self, other: "PrefixSet") -> "PrefixSet":
+        return PrefixSet(self._blocks + other._blocks)
+
+    __or__ = union
+
+    def complement(self) -> "PrefixSet":
+        """All addresses not in this set."""
+        gaps: List[Prefix] = []
+        cursor = 0
+        for block in self._blocks:
+            if block.network > cursor:
+                gaps.extend(_span_to_prefixes(cursor, block.network - 1))
+            cursor = block.last_address + 1
+        if cursor <= Prefix(0, 0).last_address:
+            gaps.extend(_span_to_prefixes(cursor, DEFAULT_ROUTE.last_address))
+        return PrefixSet(gaps)
+
+    def intersection(self, other: "PrefixSet") -> "PrefixSet":
+        pieces: List[Prefix] = []
+        # Merge-walk the two sorted disjoint block lists.
+        a_blocks, b_blocks = self._blocks, other._blocks
+        i = j = 0
+        while i < len(a_blocks) and j < len(b_blocks):
+            a, b = a_blocks[i], b_blocks[j]
+            if a.last_address < b.network:
+                i += 1
+                continue
+            if b.last_address < a.network:
+                j += 1
+                continue
+            lo = max(a.network, b.network)
+            hi = min(a.last_address, b.last_address)
+            pieces.extend(_span_to_prefixes(lo, hi))
+            if a.last_address < b.last_address:
+                i += 1
+            else:
+                j += 1
+        return PrefixSet(pieces)
+
+    __and__ = intersection
+
+    def difference(self, other: "PrefixSet") -> "PrefixSet":
+        return self.intersection(other.complement())
+
+    __sub__ = difference
+
+    def overlaps(self, other: "PrefixSet") -> bool:
+        return bool(self.intersection(other))
+
+    def issubset(self, other: "PrefixSet") -> bool:
+        return not self.difference(other)
+
+
+def _span_to_prefixes(lo: int, hi: int) -> List[Prefix]:
+    """Minimal CIDR cover of the inclusive address range [lo, hi]."""
+    prefixes: List[Prefix] = []
+    cursor = lo
+    while cursor <= hi:
+        # Largest aligned block starting at cursor that fits in range.
+        max_by_alignment = cursor & -cursor if cursor else 1 << 32
+        max_by_span = hi - cursor + 1
+        size = min(max_by_alignment, 1 << (max_by_span.bit_length() - 1))
+        length = 32 - (size.bit_length() - 1)
+        prefixes.append(Prefix(cursor, length))
+        cursor += size
+    return prefixes

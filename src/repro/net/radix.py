@@ -1,0 +1,268 @@
+"""Binary radix (Patricia) trie for longest-prefix matching.
+
+This is the engine behind the paper's clustering step: every client IP
+extracted from a server log is matched against the merged BGP prefix
+table "similar to what IP routers do" (§3.2.1), and the longest matched
+prefix names the client's cluster.
+
+The trie is path-compressed: each internal node stores the span of bits
+it consumes, so lookups touch O(prefix-length) nodes in the worst case
+and far fewer in practice.  Values of any type may be attached to
+prefixes; the clustering layer attaches route metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.net.ipv4 import mask_bits
+from repro.net.prefix import Prefix
+
+__all__ = ["RadixTree"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    """One trie node covering ``prefix``; holds a value when terminal."""
+
+    __slots__ = ("prefix", "value", "has_value", "left", "right")
+
+    def __init__(self, prefix: Prefix) -> None:
+        self.prefix = prefix
+        self.value: Optional[V] = None
+        self.has_value = False
+        self.left: Optional[_Node[V]] = None
+        self.right: Optional[_Node[V]] = None
+
+
+def _branch_bit(address: int, depth: int) -> int:
+    """Bit ``depth`` of ``address`` counting from the MSB."""
+    return (address >> (31 - depth)) & 1
+
+
+def _common_prefix_length(a: int, b: int, limit: int) -> int:
+    """Length of the longest common prefix of ``a`` and ``b``, ≤ limit."""
+    diff = a ^ b
+    if diff == 0:
+        return limit
+    leading = 31 - diff.bit_length() + 1  # number of equal leading bits
+    return min(leading, limit)
+
+
+class RadixTree(Generic[V]):
+    """Path-compressed binary trie keyed by :class:`Prefix`.
+
+    Supports insert, exact delete, exact get, longest-prefix match, and
+    ordered iteration.  Duplicate inserts overwrite the stored value
+    (routing-table merges keep the most recently seen route attributes
+    for a prefix).
+    """
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node[V]] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.get(prefix, _MISSING) is not _MISSING
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert ``prefix`` with ``value``, replacing any prior value."""
+        if self._root is None:
+            node = _Node(prefix)
+            node.value, node.has_value = value, True
+            self._root = node
+            self._size = 1
+            return
+        self._root = self._insert(self._root, prefix, value)
+
+    def _insert(self, node: _Node[V], prefix: Prefix, value: V) -> _Node[V]:
+        shared = _common_prefix_length(
+            node.prefix.network, prefix.network, min(node.prefix.length, prefix.length)
+        )
+        if shared < node.prefix.length:
+            # Split: make a fork node covering the shared span.
+            fork = _Node(Prefix(prefix.network & mask_bits(shared), shared))
+            if _branch_bit(node.prefix.network, shared):
+                fork.right = node
+            else:
+                fork.left = node
+            if shared == prefix.length:
+                # The new prefix IS the fork point.
+                fork.value, fork.has_value = value, True
+                self._size += 1
+                return fork
+            leaf = _Node(prefix)
+            leaf.value, leaf.has_value = value, True
+            self._size += 1
+            if _branch_bit(prefix.network, shared):
+                fork.right = leaf
+            else:
+                fork.left = leaf
+            return fork
+        if prefix.length == node.prefix.length:
+            # Same prefix: overwrite.
+            if not node.has_value:
+                self._size += 1
+            node.value, node.has_value = value, True
+            return node
+        # Descend: prefix is longer than this node's span.
+        if _branch_bit(prefix.network, node.prefix.length):
+            if node.right is None:
+                leaf = _Node(prefix)
+                leaf.value, leaf.has_value = value, True
+                node.right = leaf
+                self._size += 1
+            else:
+                node.right = self._insert(node.right, prefix, value)
+        else:
+            if node.left is None:
+                leaf = _Node(prefix)
+                leaf.value, leaf.has_value = value, True
+                node.left = leaf
+                self._size += 1
+            else:
+                node.left = self._insert(node.left, prefix, value)
+        return node
+
+    def delete(self, prefix: Prefix) -> bool:
+        """Remove ``prefix`` exactly; return True when it was present."""
+        found, self._root = self._delete(self._root, prefix)
+        if found:
+            self._size -= 1
+        return found
+
+    def _delete(
+        self, node: Optional[_Node[V]], prefix: Prefix
+    ) -> Tuple[bool, Optional[_Node[V]]]:
+        if node is None or node.prefix.length > prefix.length:
+            return False, node
+        if not node.prefix.contains_prefix(prefix):
+            return False, node
+        if node.prefix.length == prefix.length:
+            if node.prefix != prefix or not node.has_value:
+                return False, node
+            node.value, node.has_value = None, False
+            return True, self._collapse(node)
+        if _branch_bit(prefix.network, node.prefix.length):
+            found, node.right = self._delete(node.right, prefix)
+        else:
+            found, node.left = self._delete(node.left, prefix)
+        if found:
+            node = self._collapse(node)
+        return found, node
+
+    @staticmethod
+    def _collapse(node: _Node[V]) -> Optional[_Node[V]]:
+        """Drop value-less nodes with < 2 children to keep paths compressed."""
+        if node.has_value:
+            return node
+        if node.left is not None and node.right is not None:
+            return node
+        return node.left if node.left is not None else node.right
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._root = None
+        self._size = 0
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, prefix: Prefix, default: V = None) -> V:  # type: ignore[assignment]
+        """Return the value stored at exactly ``prefix``, else ``default``."""
+        node = self._root
+        while node is not None:
+            if node.prefix.length > prefix.length:
+                return default
+            if not node.prefix.contains_prefix(prefix):
+                return default
+            if node.prefix.length == prefix.length:
+                if node.prefix == prefix and node.has_value:
+                    return node.value  # type: ignore[return-value]
+                return default
+            if _branch_bit(prefix.network, node.prefix.length):
+                node = node.right
+            else:
+                node = node.left
+        return default
+
+    def longest_match(self, address: int) -> Optional[Tuple[Prefix, V]]:
+        """Return ``(prefix, value)`` of the most specific covering entry.
+
+        This is the router-style lookup of §3.2.1.  Returns None when no
+        stored prefix covers ``address``.
+        """
+        best: Optional[Tuple[Prefix, V]] = None
+        node = self._root
+        while node is not None:
+            if (address & mask_bits(node.prefix.length)) != node.prefix.network:
+                break
+            if node.has_value:
+                best = (node.prefix, node.value)  # type: ignore[assignment]
+            if node.prefix.length == 32:
+                break
+            if _branch_bit(address, node.prefix.length):
+                node = node.right
+            else:
+                node = node.left
+        return best
+
+    def all_matches(self, address: int) -> List[Tuple[Prefix, V]]:
+        """Return every covering entry for ``address``, shortest first."""
+        matches: List[Tuple[Prefix, V]] = []
+        node = self._root
+        while node is not None:
+            if (address & mask_bits(node.prefix.length)) != node.prefix.network:
+                break
+            if node.has_value:
+                matches.append((node.prefix, node.value))  # type: ignore[arg-type]
+            if node.prefix.length == 32:
+                break
+            if _branch_bit(address, node.prefix.length):
+                node = node.right
+            else:
+                node = node.left
+        return matches
+
+    def covered(self, prefix: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate entries nested inside ``prefix`` (inclusive), in order."""
+        for stored, value in self.items():
+            if prefix.contains_prefix(stored):
+                yield stored, value
+
+    # -- iteration --------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate ``(prefix, value)`` pairs in address order."""
+        stack: List[_Node[V]] = []
+        if self._root is not None:
+            stack.append(self._root)
+        while stack:
+            node = stack.pop()
+            if node.has_value:
+                yield node.prefix, node.value  # type: ignore[misc]
+            # Push right before left so left (lower addresses) pops first;
+            # within a node, the node's own (shorter) prefix sorts first.
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def prefixes(self) -> Iterator[Prefix]:
+        """Iterate stored prefixes in address order."""
+        for prefix, _ in self.items():
+            yield prefix
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return self.prefixes()
+
+
+_MISSING = object()

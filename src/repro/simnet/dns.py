@@ -1,0 +1,119 @@
+"""Simulated reverse DNS (the paper's ``nslookup``).
+
+The nslookup-based validation (§3.3) resolves each sampled client to a
+fully-qualified domain name and suffix-matches names within a cluster.
+This module answers reverse lookups against the ground-truth topology:
+
+* hosts inherit their administrative entity's domain suffix;
+* ISP-pool hosts get dialup-style names (``client-12-65-147-94.isp.net``,
+  matching the paper's bellatlantic.net example);
+* roughly half of all clients do not resolve — the entity hides its
+  reverse zone (firewall, DHCP pool, unregistered customers), matching
+  the paper's ~50 % resolvability finding.
+
+Lookups are deterministic in (topology seed, address) so repeated
+experiments see a stable name space.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.net.ipv4 import MAX_ADDRESS, format_ipv4
+from repro.simnet.entities import EntityKind
+from repro.simnet.topology import Topology
+from repro.util.rng import derive_seed
+
+__all__ = ["SimulatedDns", "name_components", "shared_suffix_length"]
+
+_HOST_WORDS = (
+    "macbeth", "hamlet", "ariel", "puck", "oberon", "titania", "portia",
+    "brutus", "cassius", "ophelia", "duncan", "banquo", "lear", "regan",
+    "mailsrv", "web", "ns", "firewall", "gw", "proxy", "dev", "build",
+)
+
+
+class SimulatedDns:
+    """Reverse-DNS oracle over a ground-truth :class:`Topology`."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        per_host_failure: float = 0.05,
+        pool_host_failure: float = 0.35,
+    ) -> None:
+        """``per_host_failure`` adds host-level resolution failures on
+        top of entity-level hidden zones (stale PTR records etc.);
+        ``pool_host_failure`` is the higher rate inside ISP dialup/DHCP
+        pools, whose dynamic addresses often have no registration — one
+        of the paper's stated causes of its ~50 % unresolvability."""
+        self._topology = topology
+        self._per_host_failure = per_host_failure
+        self._pool_host_failure = pool_host_failure
+        self._seed = derive_seed(topology.config.seed, "dns")
+        self.lookups_performed = 0
+
+    def resolve(self, address: int) -> Optional[str]:
+        """Return the FQDN for ``address``, or None when unresolvable."""
+        if not 0 <= address <= MAX_ADDRESS:
+            raise ValueError(f"address out of range: {address!r}")
+        self.lookups_performed += 1
+        leaf = self._topology.leaf_for_address(address)
+        if leaf is None:
+            return None
+        entity = self._topology.entities[leaf.entity_id]
+        if not entity.resolvable:
+            return None
+        if self._host_noise(address) < self._failure_rate(entity.kind):
+            return None
+        return self._host_name(address, entity.kind, entity.domain)
+
+    def is_resolvable(self, address: int) -> bool:
+        """True when :meth:`resolve` would return a name (no counting)."""
+        leaf = self._topology.leaf_for_address(address)
+        if leaf is None:
+            return False
+        entity = self._topology.entities[leaf.entity_id]
+        return entity.resolvable and (
+            self._host_noise(address) >= self._failure_rate(entity.kind)
+        )
+
+    def _failure_rate(self, entity_kind: str) -> float:
+        if entity_kind == EntityKind.ISP_POOL:
+            return self._pool_host_failure
+        return self._per_host_failure
+
+    # -- internals --------------------------------------------------------
+
+    def _host_noise(self, address: int) -> float:
+        """Deterministic per-address uniform variate in [0, 1)."""
+        mixed = derive_seed(self._seed, str(address))
+        return (mixed & 0xFFFFFFFF) / float(1 << 32)
+
+    def _host_name(self, address: int, entity_kind: str, domain: str) -> str:
+        if entity_kind == EntityKind.ISP_POOL:
+            return f"client-{format_ipv4(address).replace('.', '-')}.{domain}"
+        mixed = derive_seed(self._seed, f"name:{address}")
+        word = _HOST_WORDS[mixed % len(_HOST_WORDS)]
+        return f"{word}{address & 0xFFFF}.{domain}"
+
+
+def name_components(name: str) -> Tuple[str, ...]:
+    """Split an FQDN into its dot-separated components."""
+    return tuple(part for part in name.split(".") if part)
+
+
+def shared_suffix_length(name: str) -> int:
+    """Return ``n``, the suffix length the paper's rule compares.
+
+    §3.3 footnote 7: with ``m`` components in the client name, use
+    ``n = 3`` when ``m >= 4``, else ``n = 2``.
+    """
+    m = len(name_components(name))
+    return 3 if m >= 4 else 2
+
+
+def nontrivial_suffix(name: str) -> Tuple[str, ...]:
+    """Return the non-trivial suffix of ``name`` under the paper's rule."""
+    components = name_components(name)
+    return components[-shared_suffix_length(name):]

@@ -1,0 +1,71 @@
+"""Topology statistics: what kind of world did we generate?
+
+The calibration experiment and the tests need summary views of the
+ground truth — AS/entity/leaf composition, length histograms, entity
+size distribution.  Collected here so every consumer reads the same
+numbers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.simnet.entities import AsKind, EntityKind
+from repro.simnet.topology import Topology
+
+__all__ = ["TopologySummary", "summarize_topology"]
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """Composition counts of one generated topology."""
+
+    num_ases: int
+    num_allocations: int
+    num_leaf_networks: int
+    num_entities: int
+    ases_by_kind: Dict[str, int]
+    entities_by_kind: Dict[str, int]
+    leaf_length_histogram: Dict[int, int]
+    allocation_length_histogram: Dict[int, int]
+    leafs_per_entity_max: int
+    announced_leaf_fraction: float
+    non_us_as_fraction: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_ases} ASes, {self.num_allocations} allocations, "
+            f"{self.num_leaf_networks:,} leaf networks over "
+            f"{self.num_entities:,} entities; "
+            f"{self.announced_leaf_fraction:.0%} of leafs announced, "
+            f"{self.non_us_as_fraction:.0%} of ASes non-US"
+        )
+
+
+def summarize_topology(topology: Topology) -> TopologySummary:
+    """Compute :class:`TopologySummary` for ``topology``."""
+    ases_by_kind = Counter(a.kind for a in topology.ases.values())
+    entities_by_kind = Counter(e.kind for e in topology.entities.values())
+    leaf_lengths = Counter(l.prefix.length for l in topology.leaf_networks)
+    allocation_lengths = Counter(a.prefix.length for a in topology.allocations)
+    leafs_per_entity = Counter(l.entity_id for l in topology.leaf_networks)
+    announced = sum(1 for l in topology.leaf_networks if l.announced)
+    non_us = sum(1 for a in topology.ases.values() if a.country != "US")
+    return TopologySummary(
+        num_ases=len(topology.ases),
+        num_allocations=len(topology.allocations),
+        num_leaf_networks=len(topology.leaf_networks),
+        num_entities=len(topology.entities),
+        ases_by_kind=dict(ases_by_kind),
+        entities_by_kind=dict(entities_by_kind),
+        leaf_length_histogram=dict(leaf_lengths),
+        allocation_length_histogram=dict(allocation_lengths),
+        leafs_per_entity_max=max(leafs_per_entity.values(), default=0),
+        announced_leaf_fraction=(
+            announced / len(topology.leaf_networks)
+            if topology.leaf_networks else 0.0
+        ),
+        non_us_as_fraction=non_us / len(topology.ases) if topology.ases else 0.0,
+    )

@@ -1,0 +1,110 @@
+"""ASCII rendering of figure series.
+
+Each paper figure is regenerated as numeric series; these helpers give a
+quick visual check in the terminal (log-log scatter profiles, CDFs,
+histograms) without a plotting library.  The numeric series themselves
+are the deliverable; the ASCII art is a convenience.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_series", "ascii_histogram", "ascii_cdf"]
+
+
+def ascii_series(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Plot ``values`` against their 1-based index as a scatter profile."""
+    points = [(i + 1.0, v) for i, v in enumerate(values) if v is not None]
+    return _scatter(points, width, height, log_x, log_y, title)
+
+
+def ascii_cdf(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    log_x: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Plot the empirical CDF of ``values``."""
+    if not values:
+        return title or "(empty)"
+    ordered = sorted(values)
+    n = len(ordered)
+    points = [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+    return _scatter(points, width, height, log_x, False, title)
+
+
+def ascii_histogram(
+    labels: Sequence[str],
+    counts: Sequence[int],
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Render a horizontal bar chart of ``counts`` labelled by ``labels``."""
+    if len(labels) != len(counts):
+        raise ValueError("labels and counts must have equal length")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = max(counts) if counts else 0
+    label_width = max((len(label) for label in labels), default=0)
+    for label, count in zip(labels, counts):
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        lines.append(f"{label.rjust(label_width)} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def _scatter(
+    points: Sequence[Tuple[float, float]],
+    width: int,
+    height: int,
+    log_x: bool,
+    log_y: bool,
+    title: Optional[str],
+) -> str:
+    if not points:
+        return title or "(empty)"
+
+    def tx(x: float) -> float:
+        return math.log10(x) if log_x else x
+
+    def ty(y: float) -> float:
+        return math.log10(y) if log_y else y
+
+    usable = [
+        (tx(x), ty(y))
+        for x, y in points
+        if (not log_x or x > 0) and (not log_y or y > 0)
+    ]
+    if not usable:
+        return title or "(empty)"
+    xs = [p[0] for p in usable]
+    ys = [p[1] for p in usable]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in usable:
+        col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_lo:.3g} .. {y_hi:.3g}" + ("  (log10)" if log_y else ""))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_lo:.3g} .. {x_hi:.3g}" + ("  (log10)" if log_x else ""))
+    return "\n".join(lines)

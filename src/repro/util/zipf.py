@@ -1,0 +1,70 @@
+"""Zipf-like discrete distributions.
+
+The paper leans on the observation (§3.2.2, citing Breslau et al.) that
+web-request popularity is Zipf-like: both URL popularity and per-cluster
+request counts are heavy-tailed.  The workload generator samples from
+the distributions built here.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Sequence
+
+__all__ = ["ZipfSampler", "zipf_weights"]
+
+
+def zipf_weights(n: int, alpha: float = 1.0) -> List[float]:
+    """Return unnormalised Zipf weights ``1/rank**alpha`` for n ranks."""
+    if n <= 0:
+        raise ValueError(f"need at least one rank, got {n}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    return [1.0 / (rank ** alpha) for rank in range(1, n + 1)]
+
+
+class ZipfSampler:
+    """Sample ranks ``0..n-1`` with probability proportional to 1/(r+1)^alpha.
+
+    Uses a precomputed cumulative table and binary search: O(log n) per
+    sample, O(n) memory, no numpy dependency.
+    """
+
+    def __init__(self, n: int, alpha: float = 1.0) -> None:
+        weights = zipf_weights(n, alpha)
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+        self.n = n
+        self.alpha = alpha
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank (0 is the most popular)."""
+        point = rng.random() * self._total
+        return bisect.bisect_left(self._cumulative, point)
+
+    def sample_many(self, rng: random.Random, count: int) -> List[int]:
+        """Draw ``count`` independent ranks."""
+        return [self.sample(rng) for _ in range(count)]
+
+    def probability(self, rank: int) -> float:
+        """Exact probability of drawing ``rank``."""
+        if not 0 <= rank < self.n:
+            raise IndexError(f"rank out of range: {rank}")
+        low = self._cumulative[rank - 1] if rank else 0.0
+        return (self._cumulative[rank] - low) / self._total
+
+
+def weighted_choice(rng: random.Random, weights: Sequence[float]) -> int:
+    """Return an index drawn proportionally to ``weights``."""
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    point = rng.random() * total
+    acc = 0.0
+    for index, weight in enumerate(weights):
+        acc += weight
+        if point < acc:
+            return index
+    return len(weights) - 1

@@ -1,0 +1,137 @@
+"""Web server log entries (Common Log Format).
+
+The paper's pipeline starts from server logs: the clustering extracts
+client IP addresses, the spider/proxy detection uses request timing and
+the User-Agent field, and the caching simulation replays the full
+request stream.  :class:`LogEntry` carries exactly those fields, and
+round-trips through the NCSA Combined Log Format so that real logs can
+be ingested alongside synthetic ones.
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+import time as _time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.ipv4 import format_ipv4, parse_ipv4
+
+__all__ = ["LogEntry", "LogFormatError", "format_clf_time", "parse_clf_time"]
+
+_MONTHS = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+_MONTH_INDEX = {name: i + 1 for i, name in enumerate(_MONTHS)}
+
+# host ident authuser [date] "request" status bytes "referer" "agent"
+_CLF_PATTERN = re.compile(
+    r'^(?P<host>\S+) (?P<ident>\S+) (?P<user>\S+) '
+    r'\[(?P<time>[^\]]+)\] "(?P<request>[^"]*)" '
+    r'(?P<status>\d{3}) (?P<size>\d+|-)'
+    r'(?: "(?P<referer>[^"]*)" "(?P<agent>[^"]*)")?\s*$'
+)
+
+
+class LogFormatError(ValueError):
+    """Raised when a log line cannot be parsed."""
+
+
+def format_clf_time(timestamp: float) -> str:
+    """Render an epoch ``timestamp`` as a CLF time field (UTC).
+
+    >>> format_clf_time(887328000.0)
+    '13/Feb/1998:00:00:00 +0000'
+    """
+    parts = _time.gmtime(timestamp)
+    month = _MONTHS[parts.tm_mon - 1]
+    return (
+        f"{parts.tm_mday:02d}/{month}/{parts.tm_year}:"
+        f"{parts.tm_hour:02d}:{parts.tm_min:02d}:{parts.tm_sec:02d} +0000"
+    )
+
+
+def parse_clf_time(text: str) -> float:
+    """Parse a CLF time field back to an epoch timestamp.
+
+    Only the +0000 zone is produced by this library; other zone offsets
+    are honoured on input.
+    """
+    match = re.match(
+        r"^(\d{2})/([A-Za-z]{3})/(\d{4}):(\d{2}):(\d{2}):(\d{2}) ([+-])(\d{2})(\d{2})$",
+        text.strip(),
+    )
+    if not match:
+        raise LogFormatError(f"bad CLF time: {text!r}")
+    day, mon, year, hour, minute, second, sign, zh, zm = match.groups()
+    if mon not in _MONTH_INDEX:
+        raise LogFormatError(f"bad month in CLF time: {text!r}")
+    epoch = calendar.timegm(
+        (int(year), _MONTH_INDEX[mon], int(day), int(hour), int(minute),
+         int(second), 0, 0, 0)
+    )
+    offset = (int(zh) * 3600 + int(zm) * 60) * (1 if sign == "+" else -1)
+    return float(epoch - offset)
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One request as recorded by the origin server.
+
+    ``client`` is the integer IPv4 address; ``size`` is the response
+    body size in bytes (0 renders as "-", as real servers log 304s).
+    """
+
+    client: int
+    timestamp: float
+    url: str
+    size: int = 0
+    status: int = 200
+    method: str = "GET"
+    user_agent: str = ""
+    referer: str = ""
+
+    @property
+    def client_text(self) -> str:
+        """Dotted-quad client address."""
+        return format_ipv4(self.client)
+
+    def to_clf(self, combined: bool = True) -> str:
+        """Render as one NCSA (combined) log line."""
+        size_field = str(self.size) if self.size > 0 else "-"
+        base = (
+            f"{self.client_text} - - [{format_clf_time(self.timestamp)}] "
+            f'"{self.method} {self.url} HTTP/1.0" {self.status} {size_field}'
+        )
+        if not combined:
+            return base
+        return f'{base} "{self.referer or "-"}" "{self.user_agent or "-"}"'
+
+    @classmethod
+    def from_clf(cls, line: str) -> "LogEntry":
+        """Parse one NCSA common/combined log line."""
+        match = _CLF_PATTERN.match(line)
+        if not match:
+            raise LogFormatError(f"unparseable log line: {line[:120]!r}")
+        request = match.group("request").split()
+        if len(request) >= 2:
+            method, url = request[0], request[1]
+        elif request:
+            method, url = "GET", request[0]
+        else:
+            raise LogFormatError(f"empty request field: {line[:120]!r}")
+        size_field = match.group("size")
+        referer = match.group("referer") or ""
+        agent = match.group("agent") or ""
+        return cls(
+            client=parse_ipv4(match.group("host")),
+            timestamp=parse_clf_time(match.group("time")),
+            url=url,
+            size=0 if size_field == "-" else int(size_field),
+            status=int(match.group("status")),
+            method=method,
+            user_agent="" if agent == "-" else agent,
+            referer="" if referer == "-" else referer,
+        )

@@ -1,0 +1,154 @@
+"""Streaming log parsing and the in-memory log container.
+
+:class:`WebLog` is the unit the pipeline operates on: an ordered
+request stream plus the derived indexes the clustering and detection
+steps need (unique clients, per-client request lists).  Logs stream in
+from CLF files line by line — malformed lines and the 0.0.0.0 source
+address are dropped with counts kept, per the paper's footnote 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO
+
+from repro.weblog.entry import LogEntry, LogFormatError
+
+__all__ = ["WebLog", "ParseReport", "parse_clf_lines", "load_clf"]
+
+
+@dataclass
+class ParseReport:
+    """Counts from one parsing pass (kept for log hygiene reporting)."""
+
+    total_lines: int = 0
+    parsed: int = 0
+    malformed: int = 0
+    null_client: int = 0  # requests from 0.0.0.0, excluded per footnote 6
+
+
+class WebLog:
+    """An ordered collection of :class:`LogEntry` with client indexes."""
+
+    def __init__(self, name: str, entries: Optional[Iterable[LogEntry]] = None):
+        self.name = name
+        self.entries: List[LogEntry] = list(entries) if entries else []
+        self._by_client: Optional[Dict[int, List[int]]] = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self.entries)
+
+    def append(self, entry: LogEntry) -> None:
+        self.entries.append(entry)
+        self._by_client = None
+
+    def extend(self, entries: Iterable[LogEntry]) -> None:
+        self.entries.extend(entries)
+        self._by_client = None
+
+    def sort_by_time(self) -> None:
+        """Order entries chronologically (simulation replay order)."""
+        self.entries.sort(key=lambda e: e.timestamp)
+        self._by_client = None
+
+    # -- indexes -----------------------------------------------------------
+
+    def clients(self) -> List[int]:
+        """Unique client addresses, ascending."""
+        return sorted(self._client_index())
+
+    def num_clients(self) -> int:
+        return len(self._client_index())
+
+    def requests_of(self, client: int) -> List[LogEntry]:
+        """All requests issued by ``client``, in log order."""
+        index = self._client_index()
+        return [self.entries[i] for i in index.get(client, ())]
+
+    def request_count_of(self, client: int) -> int:
+        index = self._client_index()
+        return len(index.get(client, ()))
+
+    def unique_urls(self) -> int:
+        return len({entry.url for entry in self.entries})
+
+    def duration_seconds(self) -> float:
+        if not self.entries:
+            return 0.0
+        times = [entry.timestamp for entry in self.entries]
+        return max(times) - min(times)
+
+    def time_span(self) -> tuple:
+        """(first, last) timestamps; (0.0, 0.0) for an empty log."""
+        if not self.entries:
+            return (0.0, 0.0)
+        times = [entry.timestamp for entry in self.entries]
+        return (min(times), max(times))
+
+    def partition_sessions(self, session_seconds: float) -> List["WebLog"]:
+        """Split chronologically into fixed-length sessions (§3.6's
+        6-hour partitioning of the Nagano log)."""
+        if session_seconds <= 0:
+            raise ValueError("session length must be positive")
+        if not self.entries:
+            return []
+        start, _ = self.time_span()
+        sessions: Dict[int, List[LogEntry]] = {}
+        for entry in self.entries:
+            bucket = int((entry.timestamp - start) // session_seconds)
+            sessions.setdefault(bucket, []).append(entry)
+        return [
+            WebLog(f"{self.name}.session{bucket}", entries)
+            for bucket, entries in sorted(sessions.items())
+        ]
+
+    def without_clients(self, excluded: Iterable[int]) -> "WebLog":
+        """A copy with all requests from ``excluded`` clients removed
+        (spider/proxy elimination, §4.1.1)."""
+        drop = set(excluded)
+        kept = [entry for entry in self.entries if entry.client not in drop]
+        return WebLog(self.name, kept)
+
+    def _client_index(self) -> Dict[int, List[int]]:
+        if self._by_client is None:
+            index: Dict[int, List[int]] = {}
+            for position, entry in enumerate(self.entries):
+                index.setdefault(entry.client, []).append(position)
+            self._by_client = index
+        return self._by_client
+
+
+def parse_clf_lines(
+    name: str, lines: Iterable[str], report: Optional[ParseReport] = None
+) -> WebLog:
+    """Parse CLF ``lines`` into a :class:`WebLog`.
+
+    Requests from 0.0.0.0 (BOOTP-style unknown-source placeholders) are
+    excluded, as in the paper's experiments.
+    """
+    report = report if report is not None else ParseReport()
+    log = WebLog(name)
+    for line in lines:
+        report.total_lines += 1
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            entry = LogEntry.from_clf(stripped)
+        except (LogFormatError, ValueError):
+            report.malformed += 1
+            continue
+        if entry.client == 0:
+            report.null_client += 1
+            continue
+        report.parsed += 1
+        log.append(entry)
+    return log
+
+
+def load_clf(name: str, stream: TextIO) -> WebLog:
+    """Parse a CLF file object into a :class:`WebLog`."""
+    return parse_clf_lines(name, stream)

@@ -1,0 +1,129 @@
+"""Per-paper-log workload presets.
+
+One preset per server log the paper evaluates (§3.2.2): Nagano (1998
+Winter Olympics, one day, transient event), Apache, EW3 (Easy World
+Wide Web), and Sun, plus the large ISP client trace used for server
+clustering in §3.6.  Absolute sizes are scaled to laptop runtimes
+(roughly 1/40 of the paper's request counts at ``scale=1.0``); the
+``scale`` knob grows or shrinks everything proportionally, and every
+experiment reports shapes and ratios rather than absolute counts.
+
+Paper reference points:
+
+=========  ==========  ========  ===========  ========  ================
+log        requests    clients   unique URLs  duration  notes
+=========  ==========  ========  ===========  ========  ================
+Nagano     11,665,713  59,582    33,875       24 h      no spiders
+Apache     (large)     (large)   (n/a)        94 d      35,563 clusters
+EW3        (large)     (large)   (n/a)        (n/a)     24,921 clusters
+Sun        (large)     (large)   116,274      (n/a)     spider + proxy
+=========  ==========  ========  ===========  ========  ================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.simnet.topology import Topology
+from repro.weblog.synth import (
+    ProxySpec,
+    SpiderSpec,
+    SyntheticLog,
+    WorkloadSpec,
+    generate_log,
+)
+
+__all__ = ["PRESET_NAMES", "make_spec", "make_log"]
+
+PRESET_NAMES = ("nagano", "apache", "ew3", "sun", "isp")
+
+
+def make_spec(name: str, scale: float = 1.0, seed: int = 2000) -> WorkloadSpec:
+    """Build the :class:`WorkloadSpec` for preset ``name``.
+
+    ``scale`` multiplies clients/URLs/requests together; 1.0 is the
+    default experiment size, and tests use ~0.1 for speed.
+    """
+
+    def s(value: int, minimum: int = 1) -> int:
+        return max(minimum, round(value * scale))
+
+    if name == "nagano":
+        # One-day transient event: busy, no spiders, a couple of proxies.
+        return WorkloadSpec(
+            name="nagano",
+            seed=seed + 1,
+            duration_hours=24.0,
+            num_clients=s(4000),
+            num_urls=s(2200),
+            total_requests=s(260_000),
+            spiders=(),
+            proxies=(
+                ProxySpec(requests=s(18_000), user_agents=7, cohabitants=0),
+                ProxySpec(requests=s(6_000), user_agents=5, cohabitants=3),
+            ),
+        )
+    if name == "apache":
+        # Long-duration popular site.
+        return WorkloadSpec(
+            name="apache",
+            seed=seed + 2,
+            duration_hours=7 * 24.0,
+            num_clients=s(6500),
+            num_urls=s(900),
+            total_requests=s(200_000),
+            proxies=(ProxySpec(requests=s(8_000), user_agents=6, cohabitants=2),),
+        )
+    if name == "ew3":
+        return WorkloadSpec(
+            name="ew3",
+            seed=seed + 3,
+            duration_hours=3 * 24.0,
+            num_clients=s(4500),
+            num_urls=s(1300),
+            total_requests=s(150_000),
+            proxies=(ProxySpec(requests=s(6_000), user_agents=5, cohabitants=1),),
+        )
+    if name == "sun":
+        # The Sun log contains the paper's canonical spider (§4.1.2) and
+        # a suspected proxy issuing 323,867 of a 2-client cluster's
+        # 326,566 requests.
+        return WorkloadSpec(
+            name="sun",
+            seed=seed + 4,
+            duration_hours=10 * 24.0,
+            num_clients=s(5500),
+            num_urls=s(5000),
+            total_requests=s(220_000),
+            spiders=(
+                SpiderSpec(
+                    requests=s(25_000), url_coverage=0.5,
+                    sessions=8, cohabitants=12,
+                ),
+            ),
+            proxies=(ProxySpec(requests=s(12_000), user_agents=8, cohabitants=1),),
+        )
+    if name == "isp":
+        # §3.6's ISP client trace, reinterpreted: the addresses in this
+        # log are the *servers* contacted through the ISP's proxy, so
+        # clustering it yields server clusters.
+        return WorkloadSpec(
+            name="isp",
+            seed=seed + 5,
+            duration_hours=11 * 24.0,
+            num_clients=s(7000),     # unique server addresses
+            num_urls=s(1000),
+            total_requests=s(240_000),
+            client_zipf_alpha=1.35,  # few hot server farms get most hits
+        )
+    raise ValueError(f"unknown preset {name!r}; choose from {PRESET_NAMES}")
+
+
+def make_log(
+    topology: Topology,
+    name: str,
+    scale: float = 1.0,
+    seed: int = 2000,
+) -> SyntheticLog:
+    """Generate the preset log ``name`` over ``topology``."""
+    return generate_log(topology, make_spec(name, scale=scale, seed=seed))

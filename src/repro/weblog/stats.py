@@ -1,0 +1,65 @@
+"""Log summary statistics (§3.2.2's per-log characterisation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.weblog.parser import WebLog
+
+__all__ = ["LogStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class LogStats:
+    """The per-log numbers the paper reports for each server log."""
+
+    name: str
+    requests: int
+    clients: int
+    unique_urls: int
+    duration_hours: float
+    total_bytes: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.requests:,} requests, "
+            f"{self.clients:,} clients, {self.unique_urls:,} unique URLs, "
+            f"{self.duration_hours:.1f} h"
+        )
+
+
+def summarize(log: WebLog) -> LogStats:
+    """Compute :class:`LogStats` for ``log``."""
+    return LogStats(
+        name=log.name,
+        requests=len(log),
+        clients=log.num_clients(),
+        unique_urls=log.unique_urls(),
+        duration_hours=log.duration_seconds() / 3600.0,
+        total_bytes=sum(entry.size for entry in log.entries),
+    )
+
+
+def requests_per_hour(log: WebLog, bucket_seconds: float = 3600.0) -> List[int]:
+    """Histogram of request arrivals over time (Figure 9's raw series).
+
+    Returns one count per ``bucket_seconds`` bucket from the log's
+    first to last request.
+    """
+    if not log.entries:
+        return []
+    start, end = log.time_span()
+    buckets = int((end - start) // bucket_seconds) + 1
+    counts = [0] * buckets
+    for entry in log.entries:
+        counts[int((entry.timestamp - start) // bucket_seconds)] += 1
+    return counts
+
+
+def requests_by_client(log: WebLog) -> Dict[int, int]:
+    """Map client address -> number of requests issued."""
+    counts: Dict[int, int] = {}
+    for entry in log.entries:
+        counts[entry.client] = counts.get(entry.client, 0) + 1
+    return counts

@@ -1,0 +1,373 @@
+"""Synthetic web-server-log generation.
+
+Replaces the paper's proprietary server logs (Nagano Olympics, Apache,
+EW3, Sun, ...) with generated traces whose statistical structure
+matches what the paper reports and relies on:
+
+* clients drawn from the ground-truth topology's leaf networks with a
+  Zipf-weighted network popularity, so cluster sizes and per-cluster
+  request counts come out heavy-tailed (Figures 3–6);
+* Zipf URL popularity with per-client revisit locality (cache hit
+  ratios, Figures 11–12);
+* diurnal arrival rates with per-client activity sessions (Figure 9's
+  daily spikes);
+* optional planted *spiders* (huge sequential URL sweeps, non-diurnal
+  timing, one User-Agent) and *proxies* (aggregate-like popularity and
+  timing, many User-Agents, short think time) with ground-truth labels
+  so detection can be scored (§4.1.2);
+* a ~0.1 % sprinkle of bogus/unallocated client addresses, which is
+  what keeps the clusterable-client ratio at 99.9 % rather than 100 %.
+
+Everything is deterministic in ``spec.seed``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import random
+
+from repro.simnet.topology import Topology
+from repro.util.rng import spawn
+from repro.util.zipf import ZipfSampler
+from repro.weblog.catalog import UrlCatalog
+from repro.weblog.entry import LogEntry
+from repro.weblog.parser import WebLog
+
+__all__ = ["SpiderSpec", "ProxySpec", "WorkloadSpec", "SyntheticLog", "generate_log"]
+
+#: 1998-02-13 00:00:00 UTC — the Nagano log's day.
+NAGANO_EPOCH = 887328000.0
+
+_USER_AGENTS = (
+    "Mozilla/4.04 [en] (X11; U; SunOS 5.6)",
+    "Mozilla/4.0 (compatible; MSIE 4.01; Windows 95)",
+    "Mozilla/4.0 (compatible; MSIE 4.01; Windows 98)",
+    "Mozilla/3.01 (Macintosh; I; PPC)",
+    "Mozilla/4.5 [en] (WinNT; I)",
+    "Lynx/2.8.1rel.2 libwww-FM/2.14",
+    "Mozilla/4.06 [en] (Win95; I)",
+    "Mozilla/4.51 [en] (X11; I; Linux 2.2.5 i686)",
+)
+
+_SPIDER_AGENT = "ArchitextSpider/1.0 (crawler@example.org)"
+
+
+@dataclass(frozen=True)
+class SpiderSpec:
+    """One planted spider (§4.1.2: the Sun log's spider issued 692,453
+    requests over 4,426 of 116,274 URLs from a 27-host cluster)."""
+
+    requests: int
+    url_coverage: float = 0.8   # fraction of the catalog it sweeps
+    sessions: int = 6           # continuous crawling bursts
+    cohabitants: int = 8        # normal clients sharing its network
+
+
+@dataclass(frozen=True)
+class ProxySpec:
+    """One planted forward proxy: mimics the aggregate access pattern
+    but concentrates many users' requests behind one address."""
+
+    requests: int
+    user_agents: int = 6        # distinct UAs relayed (detection signal)
+    cohabitants: int = 1        # other clients in its network
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one synthetic server log."""
+
+    name: str
+    seed: int = 1
+    duration_hours: float = 24.0
+    num_clients: int = 2000
+    num_urls: int = 1500
+    total_requests: int = 100_000
+    start_time: float = NAGANO_EPOCH
+    url_zipf_alpha: float = 1.0
+    client_zipf_alpha: float = 1.25
+    leaf_zipf_alpha: float = 1.1
+    revisit_probability: float = 0.15
+    mean_url_bytes: float = 8192.0
+    diurnal_amplitude: float = 0.75
+    diurnal_peak_hour: float = 14.0
+    bogus_client_fraction: float = 0.001
+    spiders: Tuple[SpiderSpec, ...] = ()
+    proxies: Tuple[ProxySpec, ...] = ()
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_hours * 3600.0
+
+
+@dataclass
+class SyntheticLog:
+    """A generated log plus its ground truth.
+
+    ``spider_clients`` / ``proxy_clients`` label the planted hosts so
+    the detection heuristics of §4.1.2 can be scored; ``catalog``
+    carries sizes and modification histories for the caching
+    simulation.
+    """
+
+    log: WebLog
+    catalog: UrlCatalog
+    spec: WorkloadSpec
+    spider_clients: List[int] = field(default_factory=list)
+    proxy_clients: List[int] = field(default_factory=list)
+    bogus_clients: List[int] = field(default_factory=list)
+
+
+class _Workload:
+    """Stateful generator for one log (split into labelled RNG streams)."""
+
+    def __init__(self, topology: Topology, spec: WorkloadSpec) -> None:
+        self.topology = topology
+        self.spec = spec
+        self.catalog = UrlCatalog(
+            spec.num_urls,
+            spec.seed,
+            spec.start_time,
+            spec.duration_seconds,
+            mean_bytes=spec.mean_url_bytes,
+        )
+        self.url_sampler = ZipfSampler(spec.num_urls, spec.url_zipf_alpha)
+        self.entries: List[LogEntry] = []
+        self.result = SyntheticLog(
+            log=WebLog(spec.name), catalog=self.catalog, spec=spec
+        )
+
+    # -- client placement --------------------------------------------------
+
+    def _place_clients(self, rng: random.Random) -> List[int]:
+        """Draw client addresses: Zipf-popular leaf networks, distinct
+        hosts within each."""
+        leafs = list(self.topology.leaf_networks)
+        rng.shuffle(leafs)
+        leaf_sampler = ZipfSampler(len(leafs), self.spec.leaf_zipf_alpha)
+        used: Dict[int, set] = {}
+        clients: List[int] = []
+        attempts = 0
+        limit = self.spec.num_clients * 20
+        while len(clients) < self.spec.num_clients and attempts < limit:
+            attempts += 1
+            leaf = leafs[leaf_sampler.sample(rng)]
+            taken = used.setdefault(leaf.prefix.network, set())
+            if len(taken) >= leaf.capacity:
+                continue
+            base = 1 if leaf.prefix.num_addresses > 2 else 0
+            offset = base + rng.randrange(leaf.capacity)
+            if offset in taken:
+                continue
+            taken.add(offset)
+            clients.append(leaf.prefix.network + offset)
+        return clients
+
+    def _bogus_clients(self, rng: random.Random) -> List[int]:
+        count = max(0, round(self.spec.num_clients * self.spec.bogus_client_fraction))
+        return [self.topology.unallocated_address(rng) for _ in range(count)]
+
+    # -- timing --------------------------------------------------------------
+
+    def _diurnal_time(self, rng: random.Random) -> float:
+        """One arrival time following the diurnal rate by rejection."""
+        spec = self.spec
+        peak = spec.diurnal_peak_hour
+        while True:
+            t = rng.random() * spec.duration_seconds
+            hour = (t / 3600.0) % 24.0
+            rate = 1.0 + spec.diurnal_amplitude * math.cos(
+                2.0 * math.pi * (hour - peak) / 24.0
+            )
+            if rng.random() * (1.0 + spec.diurnal_amplitude) < rate:
+                return spec.start_time + t
+
+    def _session_times(
+        self, rng: random.Random, count: int, sessions: int
+    ) -> List[float]:
+        """``count`` request times packed into diurnally-placed activity
+        sessions (normal users browse in bursts, not all day)."""
+        if count <= 0:
+            return []
+        starts = sorted(self._diurnal_time(rng) for _ in range(sessions))
+        times: List[float] = []
+        per_session = max(1, count // sessions)
+        remaining = count
+        for start in starts:
+            take = min(per_session, remaining)
+            length = rng.uniform(900.0, 5400.0)  # 15–90 minute session
+            times.extend(start + rng.random() * length for _ in range(take))
+            remaining -= take
+            if remaining <= 0:
+                break
+        while remaining > 0:
+            times.append(self._diurnal_time(rng))
+            remaining -= 1
+        end = self.spec.start_time + self.spec.duration_seconds
+        return [min(t, end - 1.0) for t in times]
+
+    # -- request emission -------------------------------------------------
+
+    def _emit_normal_client(
+        self, rng: random.Random, client: int, count: int
+    ) -> None:
+        agent = rng.choice(_USER_AGENTS)
+        sessions = max(1, min(40, count // 25))
+        times = self._session_times(rng, count, sessions)
+        history: List[int] = []
+        for timestamp in times:
+            if history and rng.random() < self.spec.revisit_probability:
+                url_index = rng.choice(history)
+            else:
+                url_index = self.url_sampler.sample(rng)
+                history.append(url_index)
+                if len(history) > 32:
+                    history.pop(0)
+            url = self.catalog.url(url_index)
+            self.entries.append(
+                LogEntry(
+                    client=client,
+                    timestamp=timestamp,
+                    url=url,
+                    size=self.catalog.size_of(url),
+                    user_agent=agent,
+                )
+            )
+
+    def _emit_spider(self, rng: random.Random, spec: SpiderSpec) -> None:
+        """A spider sweeps the catalog near-sequentially in long flat
+        bursts — no diurnal shape, few repeats (Figure 9(c))."""
+        leaf = rng.choice(self.topology.leaf_networks)
+        hosts = self.topology.hosts_in_leaf(leaf, 1 + spec.cohabitants, rng)
+        spider, cohabitants = hosts[0], hosts[1:]
+        self.result.spider_clients.append(spider)
+        sweep = max(1, int(self.spec.num_urls * spec.url_coverage))
+        total = self.spec.duration_seconds
+        session_span = total / max(1, spec.sessions)
+        position = 0
+        for session in range(spec.sessions):
+            session_start = self.spec.start_time + session * session_span
+            session_requests = spec.requests // spec.sessions
+            gap = (session_span * 0.6) / max(1, session_requests)
+            for step in range(session_requests):
+                url = self.catalog.url(position % sweep)
+                position += 1
+                self.entries.append(
+                    LogEntry(
+                        client=spider,
+                        timestamp=session_start + step * gap,
+                        url=url,
+                        size=self.catalog.size_of(url),
+                        user_agent=_SPIDER_AGENT,
+                    )
+                )
+        # The spider's cluster also contains a handful of normal hosts,
+        # producing the skewed within-cluster distribution of Figure 10.
+        for cohabitant in cohabitants:
+            self._emit_normal_client(rng, cohabitant, 2 + rng.randrange(40))
+
+    def _emit_proxy(self, rng: random.Random, spec: ProxySpec) -> None:
+        """A proxy relays many users: aggregate-shaped popularity and
+        diurnal timing, many User-Agents (Figure 9(b))."""
+        leaf = rng.choice(self.topology.leaf_networks)
+        hosts = self.topology.hosts_in_leaf(leaf, 1 + spec.cohabitants, rng)
+        proxy, cohabitants = hosts[0], hosts[1:]
+        self.result.proxy_clients.append(proxy)
+        agents = [rng.choice(_USER_AGENTS) for _ in range(spec.user_agents)]
+        for _ in range(spec.requests):
+            url_index = self.url_sampler.sample(rng)
+            url = self.catalog.url(url_index)
+            self.entries.append(
+                LogEntry(
+                    client=proxy,
+                    timestamp=self._diurnal_time(rng),
+                    url=url,
+                    size=self.catalog.size_of(url),
+                    user_agent=rng.choice(agents),
+                )
+            )
+        for cohabitant in cohabitants:
+            self._emit_normal_client(rng, cohabitant, 2 + rng.randrange(60))
+
+    # -- assembly ----------------------------------------------------------
+
+    def generate(self) -> SyntheticLog:
+        spec = self.spec
+        clients = self._place_clients(spawn(spec.seed, "clients"))
+        bogus = self._bogus_clients(spawn(spec.seed, "bogus"))
+        self.result.bogus_clients = bogus
+
+        special_requests = sum(s.requests for s in spec.spiders) + sum(
+            p.requests for p in spec.proxies
+        )
+        normal_budget = max(len(clients), spec.total_requests - special_requests)
+
+        # Per-client request counts: Zipf over clients, scaled to budget.
+        weight_rng = spawn(spec.seed, "weights")
+        weights = [
+            1.0 / ((rank + 1) ** spec.client_zipf_alpha) for rank in range(len(clients))
+        ]
+        weight_rng.shuffle(weights)
+        # Individual *normal* clients never dominate a server log the
+        # way clusters do — single addresses with outsized request
+        # counts are proxies or spiders (§4.1.2), which are planted
+        # separately.  Cap per-client activity, redistributing the
+        # clipped budget across the rest so the target request count
+        # survives the cap.
+        cap = max(40, round(normal_budget * 0.004))
+        counts = _capped_allocation(weights, normal_budget, cap)
+
+        emit_rng = spawn(spec.seed, "emit")
+        for client, count in zip(clients, counts):
+            self._emit_normal_client(emit_rng, client, count)
+        for address in bogus:
+            self._emit_normal_client(emit_rng, address, 1 + emit_rng.randrange(3))
+        for spider_spec in spec.spiders:
+            self._emit_spider(spawn(spec.seed, f"spider:{spider_spec}"), spider_spec)
+        for proxy_spec in spec.proxies:
+            self._emit_proxy(spawn(spec.seed, f"proxy:{proxy_spec}"), proxy_spec)
+
+        self.result.log.extend(self.entries)
+        self.result.log.sort_by_time()
+        return self.result
+
+
+def _capped_allocation(
+    weights: Sequence[float], budget: int, cap: int
+) -> List[int]:
+    """Distribute ``budget`` proportionally to ``weights`` with a
+    per-slot ``cap``, water-filling the clipped excess over the
+    remaining slots (each slot gets at least 1)."""
+    n = len(weights)
+    if n == 0:
+        return []
+    if cap * n <= budget:
+        return [cap] * n  # budget unreachable: everyone saturates
+    counts = [0] * n
+    active = list(range(n))
+    remaining = budget
+    for _ in range(20):
+        weight_sum = sum(weights[i] for i in active)
+        if weight_sum <= 0 or remaining <= 0:
+            break
+        saturated = []
+        assigned_this_round = 0
+        for i in active:
+            share = max(1, round(remaining * weights[i] / weight_sum))
+            counts[i] = min(cap, counts[i] + share)
+            assigned_this_round += share
+            if counts[i] >= cap:
+                saturated.append(i)
+        remaining = budget - sum(counts)
+        active = [i for i in active if i not in set(saturated)]
+        if not active or remaining <= 0:
+            break
+    return [max(1, c) for c in counts]
+
+
+def generate_log(topology: Topology, spec: WorkloadSpec) -> SyntheticLog:
+    """Generate one synthetic server log over ``topology``."""
+    return _Workload(topology, spec).generate()

@@ -1,0 +1,53 @@
+"""Writing web logs to disk (and reading them back).
+
+The synthetic workloads exist so the pipeline can run without the
+paper's proprietary logs — but downstream users have real log files,
+and tests want round-trips.  :func:`save_log` streams a
+:class:`WebLog` to an NCSA common/combined file; :func:`load_log` is
+the file-path twin of :func:`repro.weblog.parser.load_clf`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.weblog.parser import ParseReport, WebLog, parse_clf_lines
+
+__all__ = ["save_log", "load_log"]
+
+
+def save_log(
+    log: WebLog,
+    path: Union[str, Path],
+    combined: bool = True,
+) -> int:
+    """Write ``log`` to ``path`` in NCSA (combined) format.
+
+    Entries are written in their current order (call
+    :meth:`WebLog.sort_by_time` first for a chronological file).
+    Returns the number of lines written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(path, "w") as handle:
+        for entry in log.entries:
+            handle.write(entry.to_clf(combined=combined) + "\n")
+            count += 1
+    return count
+
+
+def load_log(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    report: Optional[ParseReport] = None,
+) -> WebLog:
+    """Parse the CLF file at ``path`` into a :class:`WebLog`.
+
+    Malformed lines and 0.0.0.0 clients are dropped, with counts in
+    ``report`` when provided (the paper's footnote-6 hygiene).
+    """
+    path = Path(path)
+    with open(path) as handle:
+        return parse_clf_lines(name or path.stem, handle, report)

@@ -1,0 +1,112 @@
+"""Unit/integration tests for on-disk snapshot archives."""
+
+import pytest
+
+from repro.bgp.archive import SnapshotArchive, load_snapshot, save_snapshot
+from repro.bgp.sources import source_by_name
+from repro.bgp.synth import SnapshotTime
+from repro.bgp.table import KIND_REGISTRY, RoutingTable
+from repro.net.prefix import Prefix
+
+
+class TestSaveLoadRoundTrip:
+    def test_bgp_dump_round_trip(self, factory, tmp_path):
+        source = source_by_name("MAE-WEST")
+        table = factory.snapshot(source)
+        path = tmp_path / "mae-west.dump"
+        written = save_snapshot(table, path)
+        assert written == len(table)
+        loaded = load_snapshot(path)
+        assert loaded.name == "MAE-WEST"
+        assert loaded.kind == table.kind
+        assert loaded.prefix_set() == table.prefix_set()
+
+    def test_attributes_survive(self, factory, tmp_path):
+        table = factory.snapshot(source_by_name("OREGON"))
+        path = tmp_path / "oregon.dump"
+        save_snapshot(table, path)
+        loaded = load_snapshot(path)
+        prefix = table.prefixes()[0]
+        assert loaded.get(prefix).as_path == table.get(prefix).as_path
+        assert loaded.get(prefix).next_hop == table.get(prefix).next_hop
+
+    def test_registry_dump_round_trip(self, factory, tmp_path):
+        table = factory.snapshot(source_by_name("ARIN"))
+        path = tmp_path / "arin.dump"
+        save_snapshot(table, path)
+        loaded = load_snapshot(path)
+        assert loaded.kind == KIND_REGISTRY
+        assert loaded.prefix_set() == table.prefix_set()
+
+    def test_explicit_overrides(self, tmp_path):
+        table = RoutingTable("X")
+        table.add_prefix(Prefix.from_cidr("10.0.0.0/8"))
+        path = tmp_path / "x.dump"
+        save_snapshot(table, path)
+        loaded = load_snapshot(path, name="Y", kind="forwarding")
+        assert loaded.name == "Y"
+        assert loaded.kind == "forwarding"
+
+    def test_raw_headerless_dump(self, tmp_path):
+        path = tmp_path / "raw.txt"
+        path.write_text("10.0.0.0/8\n192.0.2.0/24\n")
+        loaded = load_snapshot(path)
+        assert len(loaded) == 2
+        assert loaded.name == "raw"
+
+
+class TestArchive:
+    def test_collect_and_list(self, factory, tmp_path):
+        archive = SnapshotArchive(tmp_path / "dumps")
+        entries = archive.collect(factory, SnapshotTime(0))
+        assert len(entries) == 14
+        on_disk = archive.entries()
+        assert len(on_disk) == 14
+        assert all(entry.size_bytes > 0 for entry in on_disk)
+        assert archive.dates() == ["d0s0"]
+
+    def test_multiple_dates(self, factory, tmp_path):
+        archive = SnapshotArchive(tmp_path / "dumps")
+        sources = [source_by_name("MAE-WEST"), source_by_name("VBNS")]
+        archive.collect(factory, SnapshotTime(0), sources)
+        archive.collect(factory, SnapshotTime(1), sources)
+        assert archive.dates() == ["d0s0", "d1s0"]
+        assert len(archive.entries()) == 4
+
+    def test_load_specific_dump(self, factory, tmp_path):
+        archive = SnapshotArchive(tmp_path / "dumps")
+        archive.collect(factory, SnapshotTime(0), [source_by_name("VBNS")])
+        table = archive.load("VBNS", "d0s0")
+        assert len(table) > 0
+
+    def test_merged_table_from_disk_matches_in_memory(self, factory, tmp_path):
+        """The offline pipeline (archive -> merge) must agree with the
+        in-memory pipeline on lookups."""
+        import random
+
+        archive = SnapshotArchive(tmp_path / "dumps")
+        archive.collect(factory, SnapshotTime(0))
+        from_disk = archive.merged_table("d0s0")
+        in_memory = factory.merged(SnapshotTime(0))
+        assert len(from_disk) == len(in_memory)
+        rng = random.Random(1)
+        for _ in range(100):
+            address = rng.getrandbits(32)
+            a = from_disk.lookup(address)
+            b = in_memory.lookup(address)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.prefix == b.prefix
+
+    def test_merged_table_missing_date(self, tmp_path):
+        archive = SnapshotArchive(tmp_path / "dumps")
+        with pytest.raises(FileNotFoundError):
+            archive.merged_table("d9s9")
+
+    def test_awkward_source_names_safe_on_disk(self, factory, tmp_path):
+        archive = SnapshotArchive(tmp_path / "dumps")
+        entries = archive.collect(
+            factory, SnapshotTime(0), [source_by_name("AT&T-BGP")]
+        )
+        assert entries[0].path.exists()
+        assert "&" not in str(entries[0].path.name)

@@ -1,0 +1,97 @@
+"""Unit/integration tests for AS-path graph analysis."""
+
+from repro.bgp.aspath import AsGraph, build_as_graph, path_length_histogram
+from repro.bgp.sources import source_by_name
+from repro.bgp.table import RoutingTable
+from repro.net.prefix import Prefix
+
+
+def table_with_paths(*paths):
+    table = RoutingTable("T")
+    for index, path in enumerate(paths):
+        table.add_prefix(
+            Prefix.from_cidr(f"10.{index}.0.0/16"), as_path=tuple(path)
+        )
+    return table
+
+
+class TestAsGraph:
+    def test_edges_from_path(self):
+        graph = AsGraph()
+        graph.add_path((1, 2, 3))
+        assert graph.neighbors(2) == {1, 3}
+        assert graph.degree(1) == 1
+        assert len(graph) == 3
+
+    def test_prepending_not_an_edge(self):
+        graph = AsGraph()
+        graph.add_path((1, 2, 2, 2, 3))
+        assert graph.neighbors(2) == {1, 3}
+        assert 2 not in graph.neighbors(2)
+
+    def test_edge_observations_counted(self):
+        graph = AsGraph()
+        graph.add_path((1, 2))
+        graph.add_path((2, 1))
+        assert graph.edge_observations[(1, 2)] == 2
+
+    def test_bfs_distances(self):
+        graph = AsGraph()
+        graph.add_path((1, 2, 3))
+        graph.add_path((3, 4))
+        assert graph.distance(1, 4) == 3
+        assert graph.distance(1, 1) == 0
+        assert graph.distances_from(1) == {1: 0, 2: 1, 3: 2, 4: 3}
+
+    def test_disconnected(self):
+        graph = AsGraph()
+        graph.add_path((1, 2))
+        graph.add_path((8, 9))
+        assert graph.distance(1, 9) is None
+        assert graph.distance(77, 78) is None
+
+    def test_hubs(self):
+        graph = AsGraph()
+        graph.add_path((1, 5, 2))
+        graph.add_path((3, 5, 4))
+        hubs = graph.hubs(1)
+        assert hubs[0][0] == 5
+        assert hubs[0][1] == 4
+
+    def test_single_as_path(self):
+        graph = AsGraph()
+        graph.add_path((7,))
+        assert 7 in graph
+        assert graph.degree(7) == 0
+
+
+class TestBuildFromTables:
+    def test_build_from_synthetic_snapshots(self, factory):
+        tables = [
+            factory.snapshot(source_by_name(name))
+            for name in ("OREGON", "MAE-WEST")
+        ]
+        graph = build_as_graph(tables)
+        assert len(graph) > 0
+        # Backbone transit ASes should be the hubs.
+        hub_asn, hub_degree = graph.hubs(1)[0]
+        assert hub_degree >= 2
+
+    def test_origin_ases_reachable_from_hub(self, factory, topology):
+        tables = [factory.snapshot(source_by_name("OREGON"))]
+        graph = build_as_graph(tables)
+        hub_asn, _ = graph.hubs(1)[0]
+        distances = graph.distances_from(hub_asn)
+        # Most of the graph hangs off the backbone.
+        assert len(distances) > 0.5 * len(graph)
+
+    def test_path_length_histogram(self):
+        tables = [table_with_paths((1, 2, 3), (1, 2), (5, 5, 6))]
+        histogram = path_length_histogram(tables)
+        assert histogram == {3: 1, 2: 2}  # prepends deduped
+
+    def test_empty_paths_ignored(self):
+        table = RoutingTable("T")
+        table.add_prefix(Prefix.from_cidr("10.0.0.0/8"))
+        assert path_length_histogram([table]) == {}
+        assert len(build_as_graph([table])) == 0

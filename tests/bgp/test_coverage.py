@@ -1,0 +1,93 @@
+"""Unit/integration tests for address-space coverage analysis."""
+
+from repro.bgp.coverage import coverage_of, marginal_coverage
+from repro.bgp.sources import source_by_name
+from repro.bgp.table import KIND_REGISTRY
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+
+
+def p(cidr: str) -> Prefix:
+    return Prefix.from_cidr(cidr)
+
+
+class TestCoverageOf:
+    def test_full_coverage(self):
+        reference = PrefixSet([p("10.0.0.0/8")])
+        report = coverage_of([p("10.0.0.0/9"), p("10.128.0.0/9")], reference)
+        assert report.fraction == 1.0
+        assert not report.uncovered
+
+    def test_partial_coverage(self):
+        reference = PrefixSet([p("10.0.0.0/8")])
+        report = coverage_of([p("10.0.0.0/9")], reference)
+        assert report.fraction == 0.5
+        assert report.uncovered == PrefixSet([p("10.128.0.0/9")])
+
+    def test_coverage_outside_reference_ignored(self):
+        reference = PrefixSet([p("10.0.0.0/8")])
+        report = coverage_of([p("192.0.0.0/8")], reference)
+        assert report.fraction == 0.0
+
+    def test_empty_reference(self):
+        report = coverage_of([p("10.0.0.0/8")], PrefixSet.empty())
+        assert report.fraction == 1.0
+
+    def test_describe(self):
+        reference = PrefixSet([p("10.0.0.0/8")])
+        assert "covered" in coverage_of([p("10.0.0.0/9")], reference).describe()
+
+
+class TestOnSyntheticWorld:
+    def _reference(self, topology):
+        return PrefixSet(a.prefix for a in topology.allocations)
+
+    def test_no_single_bgp_source_covers_everything(self, topology, factory):
+        reference = self._reference(topology)
+        for name in ("MAE-WEST", "PAIX", "VBNS"):
+            snapshot = factory.snapshot(source_by_name(name))
+            report = coverage_of(snapshot.prefixes(), reference)
+            assert report.fraction < 1.0
+
+    def test_bigger_sources_cover_more(self, topology, factory):
+        reference = self._reference(topology)
+        oregon = coverage_of(
+            factory.snapshot(source_by_name("OREGON")).prefixes(), reference
+        )
+        vbns = coverage_of(
+            factory.snapshot(source_by_name("VBNS")).prefixes(), reference
+        )
+        assert oregon.fraction > vbns.fraction
+
+    def test_marginal_coverage_monotone(self, topology, factory):
+        reference = self._reference(topology)
+        tables = [
+            factory.snapshot(source)
+            for source in factory.sources
+            if source.kind != KIND_REGISTRY
+        ]
+        rows = marginal_coverage(tables, reference)
+        assert len(rows) == len(tables)
+        cumulative = [cum for _, _, cum in rows]
+        assert cumulative == sorted(cumulative)  # union only grows
+        assert all(own <= cum for _, own, cum in rows)
+
+    def test_registry_dumps_complete_the_picture(self, topology, factory):
+        """§3.1.1: registry blocks are the allocations themselves, so
+        adding them closes (almost) all remaining gaps."""
+        reference = self._reference(topology)
+        bgp_tables = [
+            factory.snapshot(source)
+            for source in factory.sources
+            if source.kind != KIND_REGISTRY
+        ]
+        union = PrefixSet(
+            prefix for table in bgp_tables for prefix in table.prefixes()
+        )
+        without_registry = coverage_of(union, reference)
+        arin = factory.snapshot(source_by_name("ARIN"))
+        with_registry = coverage_of(
+            list(union) + arin.prefixes(), reference
+        )
+        assert with_registry.fraction >= without_registry.fraction
+        assert with_registry.fraction > 0.95

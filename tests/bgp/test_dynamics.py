@@ -1,0 +1,63 @@
+"""Unit tests for the BGP dynamics study (§3.4)."""
+
+from repro.bgp.dynamics import snapshot_times, study_dynamics
+from repro.bgp.sources import source_by_name
+from repro.bgp.synth import SnapshotTime
+
+
+class TestSnapshotTimes:
+    def test_subdaily_source_gets_intraday_slots(self):
+        times = snapshot_times(0, update_hours=2.0)
+        assert len(times) > 1
+        assert all(t.day == 0 for t in times)
+
+    def test_daily_source_gets_single_slot(self):
+        times = snapshot_times(0, update_hours=24.0)
+        assert times == [SnapshotTime(0, 0)]
+
+    def test_period_extends_days(self):
+        times = snapshot_times(3, update_hours=24.0)
+        assert [t.day for t in times] == [0, 1, 2, 3]
+
+
+class TestStudyDynamics:
+    def test_period_zero_has_nonzero_effect_for_subdaily_source(self, factory):
+        """Table 4's first column: intra-day churn alone produces a
+        dynamic prefix set."""
+        report = study_dynamics(factory, source_by_name("AADS"), periods=(0,))
+        assert report.periods[0].maximum_effect > 0
+
+    def test_maximum_effect_monotone_in_period(self, factory):
+        report = study_dynamics(
+            factory, source_by_name("AADS"), periods=(0, 1, 4, 7, 14)
+        )
+        effects = [e.maximum_effect for e in report.periods]
+        assert effects == sorted(effects)
+
+    def test_dynamic_fraction_stays_small(self, factory):
+        """The paper's conclusion: clustering is immune to BGP dynamics
+        because the dynamic set stays a small fraction of the table."""
+        report = study_dynamics(factory, source_by_name("AADS"), periods=(14,))
+        assert report.periods[0].dynamic_fraction < 0.15
+
+    def test_dynamic_set_is_subset_of_union(self, factory):
+        report = study_dynamics(factory, source_by_name("AADS"), periods=(4,))
+        effect = report.periods[0]
+        assert effect.dynamic_prefixes <= effect.union_prefixes
+
+    def test_effect_on_prefixes_projection(self, factory):
+        report = study_dynamics(factory, source_by_name("AADS"), periods=(0, 7))
+        union = list(report.periods[0].union_prefixes)
+        used = union[:50]
+        rows = report.effect_on_prefixes(used)
+        assert len(rows) == 2
+        for period_days, used_count, dynamic_count in rows:
+            assert 0 <= dynamic_count <= used_count <= len(used)
+
+    def test_effect_on_disjoint_prefixes_is_zero(self, factory):
+        from repro.net.prefix import Prefix
+
+        report = study_dynamics(factory, source_by_name("AADS"), periods=(1,))
+        foreign = [Prefix.from_cidr("203.0.113.0/24")]
+        ((_, used, dynamic),) = report.effect_on_prefixes(foreign)
+        assert used == 0 and dynamic == 0

@@ -1,0 +1,56 @@
+"""Unit tests for the Table 1 source collection."""
+
+import pytest
+
+from repro.bgp.sources import DEFAULT_SOURCES, SourceSpec, source_by_name
+from repro.bgp.table import KIND_BGP, KIND_FORWARDING, KIND_REGISTRY
+
+
+def test_fourteen_sources_like_table1():
+    assert len(DEFAULT_SOURCES) == 14
+    names = {spec.name for spec in DEFAULT_SOURCES}
+    assert names == {
+        "AADS", "ARIN", "AT&T-BGP", "AT&T-Forw", "CANET", "CERFNET",
+        "MAE-EAST", "MAE-WEST", "NLANR", "OREGON", "PACBELL", "PAIX",
+        "SINGAREN", "VBNS",
+    }
+
+
+def test_registry_sources_are_arin_and_nlanr():
+    registries = {s.name for s in DEFAULT_SOURCES if s.kind == KIND_REGISTRY}
+    assert registries == {"ARIN", "NLANR"}
+
+
+def test_forwarding_source_is_att():
+    forwarding = [s for s in DEFAULT_SOURCES if s.kind == KIND_FORWARDING]
+    assert [s.name for s in forwarding] == ["AT&T-Forw"]
+    # Forwarding tables carry customer specifics (> /24) — that is what
+    # puts the long prefixes of Table 3 into the merged table.
+    assert forwarding[0].keeps_specifics
+
+
+def test_registry_dumps_carry_filler_blocks():
+    for name in ("ARIN", "NLANR"):
+        assert source_by_name(name).filler_blocks > 0
+    for spec in DEFAULT_SOURCES:
+        if spec.kind == KIND_BGP:
+            assert spec.filler_blocks == 0
+
+
+def test_relative_visibility_ordering_matches_table1():
+    """Size ordering from the paper: OREGON is the biggest BGP view,
+    CANET/VBNS tiny, ARIN the biggest registry."""
+    vis = {s.name: s.visibility for s in DEFAULT_SOURCES}
+    assert vis["OREGON"] > vis["MAE-EAST"] > vis["MAE-WEST"] > vis["PAIX"]
+    assert vis["CANET"] < 0.1 and vis["VBNS"] < 0.1
+    assert vis["ARIN"] > vis["NLANR"]
+
+
+def test_source_by_name_unknown_raises():
+    with pytest.raises(KeyError):
+        source_by_name("ROUTEVIEWS-2026")
+
+
+def test_spec_validates_visibility():
+    with pytest.raises(ValueError):
+        SourceSpec("X", KIND_BGP, "mask_length", 1.5)

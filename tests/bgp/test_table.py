@@ -1,0 +1,160 @@
+"""Unit tests for routing tables and the merged prefix table."""
+
+import pytest
+
+from repro.bgp.table import (
+    KIND_BGP,
+    KIND_FORWARDING,
+    KIND_REGISTRY,
+    MergedPrefixTable,
+    RouteEntry,
+    RoutingTable,
+)
+from repro.net.ipv4 import parse_ipv4
+from repro.net.prefix import Prefix
+
+
+def p(cidr: str) -> Prefix:
+    return Prefix.from_cidr(cidr)
+
+
+class TestRoutingTable:
+    def test_add_and_lookup(self):
+        table = RoutingTable("T")
+        table.add_prefix(p("10.0.0.0/8"), next_hop="hop1", as_path=(1, 2))
+        assert len(table) == 1
+        assert p("10.0.0.0/8") in table
+        entry = table.get(p("10.0.0.0/8"))
+        assert entry.next_hop == "hop1"
+        assert entry.origin_as == 2
+
+    def test_replace_same_prefix(self):
+        table = RoutingTable("T")
+        table.add_prefix(p("10.0.0.0/8"), next_hop="old")
+        table.add_prefix(p("10.0.0.0/8"), next_hop="new")
+        assert len(table) == 1
+        assert table.get(p("10.0.0.0/8")).next_hop == "new"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            RoutingTable("T", kind="telepathy")
+
+    def test_prefixes_sorted(self):
+        table = RoutingTable("T")
+        for cidr in ("192.0.2.0/24", "10.0.0.0/8", "10.0.0.0/16"):
+            table.add_prefix(p(cidr))
+        assert [x.cidr for x in table.prefixes()] == [
+            "10.0.0.0/8", "10.0.0.0/16", "192.0.2.0/24"
+        ]
+
+    def test_prefix_length_histogram(self):
+        table = RoutingTable("T")
+        for cidr in ("10.0.0.0/8", "10.1.0.0/16", "10.2.0.0/16"):
+            table.add_prefix(p(cidr))
+        assert table.prefix_length_histogram() == {8: 1, 16: 2}
+
+    def test_origin_as_empty_path(self):
+        assert RouteEntry(p("10.0.0.0/8")).origin_as is None
+
+
+class TestDumpRoundTrip:
+    def test_bgp_lines_round_trip(self):
+        table = RoutingTable("T", kind=KIND_BGP)
+        table.add_prefix(p("10.0.0.0/8"), next_hop="peer1.t.net", as_path=(7, 9))
+        table.add_prefix(p("192.0.2.0/24"), next_hop="peer2.t.net", as_path=(7,))
+        lines = list(table.to_lines())
+        parsed = RoutingTable.from_lines("T2", lines)
+        assert parsed.prefix_set() == table.prefix_set()
+        assert parsed.get(p("10.0.0.0/8")).as_path == (7, 9)
+        assert parsed.get(p("192.0.2.0/24")).next_hop == "peer2.t.net"
+
+    def test_registry_lines_have_prefix_only(self):
+        table = RoutingTable("R", kind=KIND_REGISTRY)
+        table.add_prefix(p("151.198.0.0/16"))
+        (line,) = list(table.to_lines())
+        assert "\t" not in line
+
+    def test_from_lines_skips_garbage_by_default(self):
+        lines = [
+            "# comment",
+            "",
+            "not a prefix at all",
+            "10.0.0.0/8\thop\t5",
+        ]
+        table = RoutingTable.from_lines("T", lines)
+        assert len(table) == 1
+
+    def test_from_lines_strict_raises(self):
+        with pytest.raises(Exception):
+            RoutingTable.from_lines("T", ["999.0.0.0/8"], strict=True)
+
+    def test_from_lines_bad_as_path_tolerated(self):
+        table = RoutingTable.from_lines("T", ["10.0.0.0/8\thop\tnot numbers"])
+        assert table.get(p("10.0.0.0/8")).as_path == ()
+
+    def test_from_lines_mixed_formats(self):
+        lines = ["18.0.0.0", "10.0.0.0/8", "151.198/255.255"]
+        table = RoutingTable.from_lines("T", lines)
+        assert table.prefix_set() == {
+            p("18.0.0.0/8"), p("10.0.0.0/8"), p("151.198.0.0/16")
+        }
+
+
+class TestMergedPrefixTable:
+    def _tables(self):
+        bgp = RoutingTable("B", kind=KIND_BGP)
+        bgp.add_prefix(p("10.0.0.0/8"), next_hop="bgp-hop")
+        forwarding = RoutingTable("F", kind=KIND_FORWARDING)
+        forwarding.add_prefix(p("10.0.0.0/8"), next_hop="fwd-hop")
+        forwarding.add_prefix(p("10.1.0.0/16"), next_hop="fwd-hop")
+        registry = RoutingTable("R", kind=KIND_REGISTRY)
+        registry.add_prefix(p("10.0.0.0/8"))
+        registry.add_prefix(p("172.16.0.0/12"))
+        return bgp, forwarding, registry
+
+    def test_union_size(self):
+        merged = MergedPrefixTable.from_tables(self._tables())
+        assert len(merged) == 3
+        assert merged.tables_merged == 3
+
+    def test_lookup_longest_match(self):
+        merged = MergedPrefixTable.from_tables(self._tables())
+        result = merged.lookup(parse_ipv4("10.1.2.3"))
+        assert result.prefix == p("10.1.0.0/16")
+        result = merged.lookup(parse_ipv4("10.200.0.1"))
+        assert result.prefix == p("10.0.0.0/8")
+        assert merged.lookup(parse_ipv4("8.8.8.8")) is None
+
+    def test_provenance_priority_bgp_over_registry(self):
+        merged = MergedPrefixTable.from_tables(self._tables())
+        shared = merged.lookup(parse_ipv4("10.200.0.1"))
+        assert shared.source_kind == KIND_BGP
+        assert not shared.from_registry
+
+    def test_registry_only_prefix_labelled(self):
+        merged = MergedPrefixTable.from_tables(self._tables())
+        registry_hit = merged.lookup(parse_ipv4("172.16.5.5"))
+        assert registry_hit.source_kind == KIND_REGISTRY
+        assert registry_hit.from_registry
+
+    def test_priority_independent_of_merge_order(self):
+        bgp, forwarding, registry = self._tables()
+        merged = MergedPrefixTable.from_tables([registry, forwarding, bgp])
+        shared = merged.lookup(parse_ipv4("10.200.0.1"))
+        assert shared.source_kind == KIND_BGP
+
+    def test_kind_counts(self):
+        merged = MergedPrefixTable.from_tables(self._tables())
+        counts = merged.kind_counts()
+        assert counts[KIND_BGP] == 1            # 10/8 won by BGP
+        assert counts[KIND_FORWARDING] == 1     # 10.1/16
+        assert counts[KIND_REGISTRY] == 1       # 172.16/12
+
+    def test_contains(self):
+        merged = MergedPrefixTable.from_tables(self._tables())
+        assert p("10.1.0.0/16") in merged
+        assert p("10.2.0.0/16") not in merged
+
+    def test_histogram(self):
+        merged = MergedPrefixTable.from_tables(self._tables())
+        assert merged.prefix_length_histogram() == {8: 1, 16: 1, 12: 1}

@@ -1,0 +1,119 @@
+"""Unit/integration tests for co-operative proxy clusters (§4.1.4)."""
+
+import pytest
+
+from repro.bgp.table import MergedPrefixTable, RoutingTable
+from repro.cache.cooperative import CooperativeSimulator
+from repro.core.clustering import cluster_log
+from repro.net.ipv4 import parse_ipv4
+from repro.net.prefix import Prefix
+from repro.weblog.catalog import UrlCatalog
+from repro.weblog.entry import LogEntry
+from repro.weblog.parser import WebLog
+
+
+def two_cluster_world():
+    """Two clusters whose clients request the same URL in sequence."""
+    catalog = UrlCatalog(4, seed=1, start_time=0.0, duration_seconds=86400.0,
+                         immutable_fraction=1.0)
+    url = catalog.url(0)
+    entries = [
+        LogEntry(parse_ipv4("10.0.0.1"), 10.0, url, size=catalog.size_of(url)),
+        LogEntry(parse_ipv4("10.0.1.1"), 20.0, url, size=catalog.size_of(url)),
+    ]
+    log = WebLog("tiny", entries)
+    table = RoutingTable("T")
+    table.add_prefix(Prefix.from_cidr("10.0.0.0/24"))
+    table.add_prefix(Prefix.from_cidr("10.0.1.0/24"))
+    merged = MergedPrefixTable()
+    merged.add_table(table)
+    clusters = cluster_log(log, merged)
+    return log, catalog, clusters
+
+
+class TestSiblingHits:
+    def test_shared_site_turns_miss_into_sibling_hit(self):
+        log, catalog, clusters = two_cluster_world()
+        same_site = {c.identifier: 0 for c in clusters.clusters}
+        simulator = CooperativeSimulator(log, catalog, clusters, same_site)
+        result = simulator.run(cache_bytes=None, cooperate=True)
+        assert result.sibling_hits == 1
+        assert result.misses == 1  # only the cold fetch
+        assert result.hit_ratio == 0.5
+
+    def test_without_cooperation_both_miss(self):
+        log, catalog, clusters = two_cluster_world()
+        same_site = {c.identifier: 0 for c in clusters.clusters}
+        simulator = CooperativeSimulator(log, catalog, clusters, same_site)
+        result = simulator.run(cache_bytes=None, cooperate=False)
+        assert result.sibling_hits == 0
+        assert result.misses == 2
+
+    def test_different_sites_never_cooperate(self):
+        log, catalog, clusters = two_cluster_world()
+        separate = {
+            c.identifier: i for i, c in enumerate(clusters.clusters)
+        }
+        simulator = CooperativeSimulator(log, catalog, clusters, separate)
+        result = simulator.run(cache_bytes=None, cooperate=True)
+        assert result.sibling_hits == 0
+
+    def test_requester_caches_transferred_copy(self):
+        """After a sibling hit, the requesting proxy serves its next
+        access locally."""
+        catalog = UrlCatalog(4, seed=1, start_time=0.0,
+                             duration_seconds=86400.0, immutable_fraction=1.0)
+        url = catalog.url(0)
+        entries = [
+            LogEntry(parse_ipv4("10.0.0.1"), 10.0, url,
+                     size=catalog.size_of(url)),
+            LogEntry(parse_ipv4("10.0.1.1"), 20.0, url,
+                     size=catalog.size_of(url)),
+            LogEntry(parse_ipv4("10.0.1.2"), 30.0, url,
+                     size=catalog.size_of(url)),
+        ]
+        log = WebLog("t", entries)
+        table = RoutingTable("T")
+        table.add_prefix(Prefix.from_cidr("10.0.0.0/24"))
+        table.add_prefix(Prefix.from_cidr("10.0.1.0/24"))
+        merged = MergedPrefixTable()
+        merged.add_table(table)
+        clusters = cluster_log(log, merged)
+        same_site = {c.identifier: 0 for c in clusters.clusters}
+        result = CooperativeSimulator(log, catalog, clusters, same_site).run(
+            cache_bytes=None
+        )
+        assert result.misses == 1        # one cold fetch
+        assert result.sibling_hits == 1  # second proxy borrows
+        assert result.local_hits == 1    # third request: local at proxy 2
+
+
+class TestOnRealWorkload:
+    def test_cooperation_never_hurts(self, nagano_log, merged_table,
+                                      topology):
+        from repro.core.placement import plan_placement
+        from repro.simnet.geo import GeoModel
+
+        clusters = cluster_log(nagano_log.log, merged_table)
+        plan = plan_placement(clusters, topology, GeoModel(topology))
+        simulator = CooperativeSimulator.from_placement(
+            nagano_log.log, nagano_log.catalog, clusters, plan
+        )
+        with_coop = simulator.run(cache_bytes=2_000_000, cooperate=True)
+        without = simulator.run(cache_bytes=2_000_000, cooperate=False)
+        assert with_coop.hit_ratio >= without.hit_ratio - 1e-9
+        assert with_coop.sibling_hits > 0
+        assert with_coop.num_sites <= with_coop.num_proxies
+        assert "sites" in with_coop.describe()
+
+    def test_default_sites_match_no_cooperation(self, nagano_log,
+                                                merged_table):
+        clusters = cluster_log(nagano_log.log, merged_table)
+        simulator = CooperativeSimulator(
+            nagano_log.log, nagano_log.catalog, clusters
+        )
+        cooperative = simulator.run(cache_bytes=1_000_000, cooperate=True)
+        isolated = simulator.run(cache_bytes=1_000_000, cooperate=False)
+        # Singleton sites: co-operation has nobody to talk to.
+        assert cooperative.sibling_hits == 0
+        assert cooperative.hit_ratio == pytest.approx(isolated.hit_ratio)

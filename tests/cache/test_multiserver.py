@@ -1,0 +1,118 @@
+"""Unit/integration tests for the multi-server caching simulation."""
+
+import pytest
+
+from repro.cache.multiserver import (
+    MultiServerSimulator,
+    OriginSpec,
+    merge_logs,
+)
+from repro.core.clustering import cluster_log
+from repro.net.ipv4 import parse_ipv4
+from repro.weblog.catalog import UrlCatalog
+from repro.weblog.entry import LogEntry
+from repro.weblog.parser import WebLog
+from repro.weblog.presets import make_log
+
+
+def tiny_origin(name: str, client: str, times, url="/page") -> OriginSpec:
+    catalog = UrlCatalog(4, seed=1, start_time=0.0, duration_seconds=86400.0,
+                         immutable_fraction=1.0)
+    entries = [
+        LogEntry(parse_ipv4(client), float(t), url,
+                 size=catalog.size_of(url))
+        for t in times
+    ]
+    return OriginSpec(name=name, log=WebLog(name, entries), catalog=catalog)
+
+
+class TestMergeLogs:
+    def test_chronological_interleave(self):
+        a = tiny_origin("alpha", "10.0.0.1", [0.0, 100.0])
+        b = tiny_origin("beta", "10.0.0.2", [50.0, 150.0])
+        merged = merge_logs([a, b])
+        times = [e.timestamp for e in merged.entries]
+        assert times == sorted(times)
+        assert len(merged) == 4
+
+    def test_urls_namespaced_by_origin(self):
+        a = tiny_origin("alpha", "10.0.0.1", [0.0])
+        b = tiny_origin("beta", "10.0.0.2", [1.0])
+        merged = merge_logs([a, b])
+        urls = {e.url for e in merged.entries}
+        assert urls == {"//alpha/page", "//beta/page"}
+
+
+class TestSimulation:
+    def _cluster_table(self):
+        from repro.bgp.table import MergedPrefixTable, RoutingTable
+        from repro.net.prefix import Prefix
+
+        table = RoutingTable("T")
+        table.add_prefix(Prefix.from_cidr("10.0.0.0/24"))
+        merged = MergedPrefixTable()
+        merged.add_table(table)
+        return merged
+
+    def test_same_url_different_origins_not_shared(self):
+        """/page on alpha and /page on beta are distinct resources."""
+        a = tiny_origin("alpha", "10.0.0.1", [0.0])
+        b = tiny_origin("beta", "10.0.0.1", [10.0])
+        merged_log = merge_logs([a, b])
+        clusters = cluster_log(merged_log, self._cluster_table())
+        simulator = MultiServerSimulator([a, b], clusters)
+        result = simulator.run(cache_bytes=None)
+        assert result.proxy_hits == 0  # no cross-origin false hits
+
+    def test_cross_client_sharing_per_origin(self):
+        a = tiny_origin("alpha", "10.0.0.1", [0.0])
+        b = tiny_origin("alpha2", "10.0.0.2", [10.0])
+        # Same origin accessed by both clients in one cluster: second
+        # access hits.
+        shared = OriginSpec(
+            name="alpha",
+            log=WebLog("alpha", a.log.entries + [
+                LogEntry(parse_ipv4("10.0.0.2"), 20.0, "/page",
+                         size=a.catalog.size_of("/page"))
+            ]),
+            catalog=a.catalog,
+        )
+        del b
+        merged_log = merge_logs([shared])
+        clusters = cluster_log(merged_log, self._cluster_table())
+        result = MultiServerSimulator([shared], clusters).run(cache_bytes=None)
+        assert result.proxy_hits == 1
+        assert result.per_origin["alpha"].proxy_hits == 1
+
+    def test_per_origin_counters_sum(self, topology, merged_table):
+        origins = [
+            OriginSpec(
+                name=name,
+                log=(synthetic := make_log(topology, name, scale=0.04,
+                                           seed=5 + i)).log,
+                catalog=synthetic.catalog,
+            )
+            for i, name in enumerate(("nagano", "ew3"))
+        ]
+        merged_log = merge_logs(origins)
+        clusters = cluster_log(merged_log, merged_table)
+        result = MultiServerSimulator(origins, clusters).run(
+            cache_bytes=5_000_000
+        )
+        assert result.total_requests == len(merged_log)
+        per_origin_requests = sum(
+            c.requests for c in result.per_origin.values()
+        )
+        assert per_origin_requests == result.total_requests
+        assert result.proxy_hits == sum(
+            c.proxy_hits for c in result.per_origin.values()
+        )
+        for counters in result.per_origin.values():
+            assert 0.0 <= counters.hit_ratio <= 1.0
+            assert 0.0 <= counters.byte_hit_ratio <= 1.0
+
+    def test_rejects_empty_origin_list(self):
+        from repro.core.clustering import ClusterSet
+
+        with pytest.raises(ValueError):
+            MultiServerSimulator([], ClusterSet("t", "m", []))

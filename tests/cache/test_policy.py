@@ -1,0 +1,130 @@
+"""Unit tests for the TTL + Piggyback Cache Validation proxy."""
+
+import pytest
+
+from repro.cache.policy import ProxyCache
+from repro.cache.server import OriginServer
+from repro.weblog.catalog import UrlCatalog
+
+START = 0.0
+DAY = 86400.0
+TTL = 3600.0
+
+
+@pytest.fixture()
+def server():
+    return OriginServer(UrlCatalog(80, seed=4, start_time=START,
+                                   duration_seconds=DAY))
+
+
+def mutable_url(server):
+    for url in server.catalog.urls():
+        if server.catalog.modified_between(url, START, START + DAY / 4):
+            return url
+    pytest.skip("no early-mutating URL in catalog")
+
+
+def immutable_url(server):
+    for url in server.catalog.urls():
+        if not server.catalog.modified_between(url, START, START + DAY):
+            return url
+    raise AssertionError("no immutable URL")
+
+
+class TestRequestPath:
+    def test_cold_miss_then_hit(self, server):
+        proxy = ProxyCache(server, ttl_seconds=TTL)
+        url = immutable_url(server)
+        assert not proxy.request(url, 10.0)     # cold miss
+        assert proxy.request(url, 20.0)          # fresh hit
+        assert proxy.stats.requests == 2
+        assert proxy.stats.hits == 1
+        assert proxy.stats.misses == 1
+        assert server.requests_served == 1
+
+    def test_expired_unmodified_revalidates_as_hit(self, server):
+        proxy = ProxyCache(server, ttl_seconds=TTL)
+        url = immutable_url(server)
+        proxy.request(url, 0.0)
+        # Past TTL: GET If-Modified-Since returns 304; counted a hit
+        # with no body bytes from the origin.
+        assert proxy.request(url, TTL + 10.0)
+        assert proxy.stats.validation_hits == 1
+        assert server.bytes_served == server.catalog.size_of(url)  # only cold fetch
+
+    def test_expired_modified_is_miss(self, server):
+        proxy = ProxyCache(server, ttl_seconds=1.0)
+        url = mutable_url(server)
+        # Find a window across a modification.
+        times = [t for t in range(0, int(DAY), 600)]
+        proxy.request(url, 0.0)
+        saw_miss = False
+        for t in times[1:]:
+            hit = proxy.request(url, float(t))
+            if not hit:
+                saw_miss = True
+                break
+        assert saw_miss
+
+    def test_byte_hit_accounting(self, server):
+        proxy = ProxyCache(server, ttl_seconds=TTL)
+        url = immutable_url(server)
+        size = server.catalog.size_of(url)
+        proxy.request(url, 0.0)
+        proxy.request(url, 1.0)
+        assert proxy.stats.bytes_requested == 2 * size
+        assert proxy.stats.bytes_hit == size
+        assert proxy.stats.hit_ratio == 0.5
+        assert proxy.stats.byte_hit_ratio == 0.5
+
+    def test_rejects_nonpositive_ttl(self, server):
+        with pytest.raises(ValueError):
+            ProxyCache(server, ttl_seconds=0.0)
+
+    def test_capacity_limits_cache(self, server):
+        urls = list(server.catalog.urls())[:20]
+        total = sum(server.catalog.size_of(u) for u in urls)
+        proxy = ProxyCache(server, capacity_bytes=total // 4, ttl_seconds=TTL)
+        for url in urls:
+            proxy.request(url, 1.0)
+        assert proxy.cache.used_bytes <= total // 4
+
+
+class TestPiggyback:
+    def test_piggyback_renews_expired_unmodified(self, server):
+        proxy = ProxyCache(server, ttl_seconds=TTL)
+        stable = immutable_url(server)
+        other = [u for u in server.catalog.urls() if u != stable][0]
+        proxy.request(stable, 0.0)
+        # Later miss on another URL piggybacks validation of `stable`.
+        proxy.request(other, TTL + 100.0)
+        assert proxy.stats.piggyback_validations >= 1
+        assert proxy.stats.piggyback_renewals >= 1
+        # `stable` is fresh again: the next access is a plain hit, not
+        # an If-Modified-Since round trip.
+        validations_before = server.validations_served
+        assert proxy.request(stable, TTL + 200.0)
+        assert server.validations_served == validations_before
+
+    def test_piggyback_invalidates_modified(self, server):
+        proxy = ProxyCache(server, ttl_seconds=1.0)
+        url = mutable_url(server)
+        other = immutable_url(server)
+        proxy.request(url, 0.0)
+        # March forward until a piggyback occurs after a modification.
+        invalidated = False
+        for t in range(600, int(DAY), 600):
+            proxy.request(other, float(t))
+            if url not in proxy.cache:
+                invalidated = True
+                break
+        assert invalidated
+
+    def test_piggyback_limit_respected(self, server):
+        proxy = ProxyCache(server, ttl_seconds=1.0, piggyback_limit=3)
+        urls = list(server.catalog.urls())[:30]
+        for url in urls:
+            proxy.request(url, 0.0)
+        before = proxy.stats.piggyback_validations
+        proxy.request(urls[0], 5000.0)
+        assert proxy.stats.piggyback_validations - before <= 3

@@ -1,0 +1,87 @@
+"""Unit/integration tests for demand-proportional cache provisioning."""
+
+import pytest
+
+from repro.cache.simulator import CachingSimulator, provision_caches
+from repro.core.clustering import Cluster, ClusterSet, cluster_log
+from repro.net.prefix import Prefix
+
+
+def make_set():
+    clusters = [
+        Cluster(Prefix.from_cidr("10.0.0.0/24"), clients=[1, 2],
+                requests=900, unique_urls=50, total_bytes=9000),
+        Cluster(Prefix.from_cidr("10.0.1.0/24"), clients=[3],
+                requests=100, unique_urls=10, total_bytes=1000),
+    ]
+    return ClusterSet("t", "network-aware", clusters)
+
+
+class TestProvisionCaches:
+    def test_proportional_to_requests(self):
+        allocation = provision_caches(make_set(), 1_000_000, metric="requests")
+        big = allocation[Prefix.from_cidr("10.0.0.0/24")]
+        small = allocation[Prefix.from_cidr("10.0.1.0/24")]
+        assert big == 900_000
+        assert small == 100_000
+
+    def test_metric_selection(self):
+        by_clients = provision_caches(make_set(), 300_000, metric="clients")
+        assert by_clients[Prefix.from_cidr("10.0.0.0/24")] == 200_000
+        by_bytes = provision_caches(make_set(), 1_000_000, metric="bytes")
+        assert by_bytes[Prefix.from_cidr("10.0.0.0/24")] == 900_000
+
+    def test_floor_protects_quiet_clusters(self):
+        allocation = provision_caches(
+            make_set(), 200_000, metric="requests", floor_bytes=50_000
+        )
+        assert allocation[Prefix.from_cidr("10.0.1.0/24")] == 50_000
+
+    def test_zero_weight_splits_evenly(self):
+        clusters = ClusterSet("t", "m", [
+            Cluster(Prefix.from_cidr("10.0.0.0/24"), clients=[1], requests=0),
+            Cluster(Prefix.from_cidr("10.0.1.0/24"), clients=[2], requests=0),
+        ])
+        allocation = provision_caches(clusters, 1_000_000)
+        assert set(allocation.values()) == {500_000}
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            provision_caches(make_set(), 0)
+        with pytest.raises(ValueError):
+            provision_caches(make_set(), 1000, metric="vibes")
+
+
+class TestProvisionedSimulation:
+    def test_proportional_beats_uniform_at_same_budget(
+        self, nagano_log, merged_table
+    ):
+        """§4.1.4's sizing pays: the same total byte budget spent
+        proportionally to demand serves more requests from cache."""
+        clusters = cluster_log(nagano_log.log, merged_table)
+        simulator = CachingSimulator(
+            nagano_log.log, nagano_log.catalog, clusters, min_url_accesses=5
+        )
+        total_budget = 400_000 * len(clusters)
+        uniform = simulator.run(cache_bytes=400_000)
+        proportional = simulator.run(
+            cache_bytes=400_000,
+            per_cluster_bytes=provision_caches(
+                clusters, total_budget, metric="requests"
+            ),
+        )
+        assert proportional.server_hit_ratio >= uniform.server_hit_ratio - 0.01
+
+    def test_missing_cluster_falls_back_to_uniform(
+        self, nagano_log, merged_table
+    ):
+        clusters = cluster_log(nagano_log.log, merged_table)
+        simulator = CachingSimulator(
+            nagano_log.log, nagano_log.catalog, clusters
+        )
+        # Empty map: everyone falls back to the uniform size.
+        result = simulator.run(cache_bytes=100_000, per_cluster_bytes={})
+        baseline = simulator.run(cache_bytes=100_000)
+        assert result.server_hit_ratio == pytest.approx(
+            baseline.server_hit_ratio
+        )

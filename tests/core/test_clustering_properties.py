@@ -1,0 +1,111 @@
+"""Property-based tests on the clustering invariants themselves.
+
+Whatever the prefix table and client population, a clustering must be
+a *partition with provenance*: every client lands in exactly one
+cluster (or is unclustered), every cluster's identifier covers all its
+members, and the identifier is each member's longest match.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.table import MergedPrefixTable, RoutingTable
+from repro.core.clustering import (
+    METHOD_CLASSFUL,
+    METHOD_SIMPLE,
+    cluster_addresses,
+)
+from repro.net.prefix import Prefix
+
+addresses = st.integers(min_value=1, max_value=(1 << 32) - 1)
+lengths = st.integers(min_value=0, max_value=32)
+prefixes = st.builds(Prefix, addresses, lengths)
+prefix_lists = st.lists(prefixes, min_size=0, max_size=30)
+address_lists = st.lists(addresses, min_size=1, max_size=60)
+
+
+def make_table(prefix_list):
+    table = RoutingTable("T")
+    for prefix in prefix_list:
+        table.add_prefix(prefix)
+    merged = MergedPrefixTable()
+    merged.add_table(table)
+    return merged
+
+
+@settings(max_examples=60)
+@given(prefix_lists, address_lists)
+def test_clustering_is_a_partition(prefix_list, client_list):
+    table = make_table(prefix_list)
+    result = cluster_addresses(client_list, table)
+    clustered = [c for cluster in result.clusters for c in cluster.clients]
+    everything = sorted(clustered + list(result.unclustered_clients))
+    assert everything == sorted(set(client_list)) or (
+        # duplicates in the input collapse to one membership each
+        sorted(set(everything)) == sorted(set(client_list))
+    )
+    # No client appears in two clusters.
+    assert len(set(clustered)) == len(clustered)
+
+
+@settings(max_examples=60)
+@given(prefix_lists, address_lists)
+def test_identifier_covers_all_members(prefix_list, client_list):
+    table = make_table(prefix_list)
+    result = cluster_addresses(client_list, table)
+    for cluster in result.clusters:
+        for client in cluster.clients:
+            assert cluster.identifier.contains_address(client)
+
+
+@settings(max_examples=60)
+@given(prefix_lists, address_lists)
+def test_identifier_is_longest_match_of_every_member(prefix_list, client_list):
+    table = make_table(prefix_list)
+    result = cluster_addresses(client_list, table)
+    for cluster in result.clusters:
+        for client in cluster.clients:
+            lookup = table.lookup(client)
+            assert lookup is not None
+            assert lookup.prefix == cluster.identifier
+
+
+@settings(max_examples=60)
+@given(prefix_lists, address_lists)
+def test_unclustered_clients_match_nothing(prefix_list, client_list):
+    table = make_table(prefix_list)
+    result = cluster_addresses(client_list, table)
+    for client in result.unclustered_clients:
+        assert table.lookup(client) is None
+
+
+@settings(max_examples=60)
+@given(address_lists)
+def test_simple_method_groups_by_24(client_list):
+    result = cluster_addresses(client_list, method=METHOD_SIMPLE)
+    assert result.unclustered_clients == []
+    for cluster in result.clusters:
+        assert cluster.identifier.length == 24
+        first = cluster.clients[0] >> 8
+        assert all((c >> 8) == first for c in cluster.clients)
+
+
+@settings(max_examples=60)
+@given(address_lists)
+def test_classful_method_partitions_unicast(client_list):
+    result = cluster_addresses(client_list, method=METHOD_CLASSFUL)
+    for cluster in result.clusters:
+        assert cluster.identifier.length in (8, 16, 24)
+    for client in result.unclustered_clients:
+        assert (client >> 24) >= 224  # class D/E only
+
+
+@settings(max_examples=40)
+@given(prefix_lists, address_lists)
+def test_more_specific_table_never_reduces_coverage(prefix_list, client_list):
+    """Adding prefixes to the table can only cluster more clients."""
+    base = make_table(prefix_list[: len(prefix_list) // 2])
+    full = make_table(prefix_list)
+    base_result = cluster_addresses(client_list, base)
+    full_result = cluster_addresses(client_list, full)
+    assert full_result.clustered_fraction >= base_result.clustered_fraction

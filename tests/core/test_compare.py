@@ -1,0 +1,104 @@
+"""Unit tests for clustering comparison metrics."""
+
+import pytest
+
+from repro.core.clustering import (
+    Cluster,
+    ClusterSet,
+    METHOD_SIMPLE,
+    cluster_log,
+)
+from repro.core.compare import compare_clusterings
+from repro.net.prefix import Prefix
+
+
+def make(clusters_spec, method="a"):
+    clusters = [
+        Cluster(Prefix.from_cidr(f"10.0.{i}.0/24"), clients=list(members))
+        for i, members in enumerate(clusters_spec)
+    ]
+    return ClusterSet("t", method, clusters)
+
+
+class TestRandIndex:
+    def test_identical_clusterings(self):
+        a = make([[1, 2], [3, 4, 5]])
+        b = make([[1, 2], [3, 4, 5]], method="b")
+        comparison = compare_clusterings(a, b)
+        assert comparison.rand_index == 1.0
+        assert comparison.identical
+        assert comparison.exact_matches == 2
+
+    def test_completely_split(self):
+        a = make([[1, 2, 3, 4]])
+        b = make([[1], [2], [3], [4]], method="b")
+        comparison = compare_clusterings(a, b)
+        # No pair agrees: together in A, apart in B.
+        assert comparison.rand_index == 0.0
+        assert comparison.splits_a_to_b == 1
+        assert comparison.splits_b_to_a == 0
+
+    def test_partial_agreement(self):
+        a = make([[1, 2], [3, 4]])
+        b = make([[1, 2], [3], [4]], method="b")
+        comparison = compare_clusterings(a, b)
+        # Pairs: (1,2) together/together ok; (3,4) together/apart bad;
+        # cross pairs apart/apart ok (4 of them).  5/6 agree.
+        assert comparison.rand_index == pytest.approx(5 / 6)
+        assert comparison.exact_matches == 1
+        assert comparison.splits_a_to_b == 1
+
+    def test_only_common_clients_considered(self):
+        a = make([[1, 2, 99]])
+        b = make([[1, 2]], method="b")
+        comparison = compare_clusterings(a, b)
+        assert comparison.common_clients == 2
+        assert comparison.rand_index == 1.0
+
+    def test_tiny_populations(self):
+        a = make([[1]])
+        b = make([[1]], method="b")
+        assert compare_clusterings(a, b).rand_index == 1.0
+        assert compare_clusterings(make([]), make([], method="b")).rand_index == 1.0
+
+    def test_symmetry(self):
+        a = make([[1, 2, 3], [4, 5]])
+        b = make([[1, 2], [3, 4, 5]], method="b")
+        ab = compare_clusterings(a, b)
+        ba = compare_clusterings(b, a)
+        assert ab.rand_index == pytest.approx(ba.rand_index)
+        assert ab.splits_a_to_b == ba.splits_b_to_a
+
+
+class TestOnRealClusterings:
+    def test_aware_vs_simple_disagree_materially(
+        self, nagano_log, merged_table
+    ):
+        """Figure 7's point, quantified: the two clusterings are far
+        from identical."""
+        aware = cluster_log(nagano_log.log, merged_table)
+        simple = cluster_log(nagano_log.log, method=METHOD_SIMPLE)
+        comparison = compare_clusterings(aware, simple)
+        assert not comparison.identical
+        assert comparison.splits_a_to_b > 0      # aware clusters shattered
+        assert comparison.rand_index < 1.0
+        assert "Rand index" in comparison.describe()
+
+    def test_clustering_agrees_with_itself(self, nagano_log, merged_table):
+        aware = cluster_log(nagano_log.log, merged_table)
+        again = cluster_log(nagano_log.log, merged_table)
+        assert compare_clusterings(aware, again).identical
+
+    def test_streamed_equals_batch(self, nagano_log, merged_table):
+        from repro.core.realtime import RealTimeClusterer
+
+        batch = cluster_log(nagano_log.log, merged_table)
+        clusterer = RealTimeClusterer(
+            merged_table,
+            window_seconds=nagano_log.log.duration_seconds() + 1.0,
+        )
+        clusterer.feed_many(nagano_log.log.entries)
+        streamed = clusterer.snapshot()
+        comparison = compare_clusterings(batch, streamed)
+        assert comparison.rand_index == 1.0
+        assert comparison.exact_matches == len(batch)

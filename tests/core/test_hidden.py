@@ -1,0 +1,71 @@
+"""Unit/integration tests for hidden-client estimation (§4.1.1)."""
+
+import pytest
+
+from repro.core.clustering import cluster_log
+from repro.core.hidden import census, estimate_hidden_clients
+from repro.core.spiders import Detection, classify_clients
+
+
+def _fake_detection(client=1, requests=5000, user_agents=6):
+    return Detection(
+        client=client,
+        kind="proxy",
+        cluster_prefix="10.0.0.0/24",
+        requests=requests,
+        unique_urls=100,
+        request_share_of_cluster=0.9,
+        diurnal_correlation=0.8,
+        user_agents=user_agents,
+        mean_think_seconds=10.0,
+        score=1.0,
+    )
+
+
+class TestEstimate:
+    def test_demand_estimate_dominates_for_busy_proxy(self, sun_log):
+        detection = _fake_detection(requests=50_000, user_agents=2)
+        estimate = estimate_hidden_clients(sun_log.log, detection)
+        assert estimate.demand_based_estimate > estimate.user_agent_lower_bound
+        assert estimate.estimated_users == estimate.demand_based_estimate
+
+    def test_ua_bound_dominates_for_light_proxy(self, sun_log):
+        detection = _fake_detection(requests=30, user_agents=8)
+        estimate = estimate_hidden_clients(sun_log.log, detection)
+        assert estimate.estimated_users >= 8
+
+    def test_estimate_at_least_one(self, sun_log):
+        detection = _fake_detection(requests=1, user_agents=0)
+        estimate = estimate_hidden_clients(
+            sun_log.log, detection, ua_concurrency_factor=1.0
+        )
+        assert estimate.estimated_users >= 1
+
+    def test_rejects_bad_factor(self, sun_log):
+        with pytest.raises(ValueError):
+            estimate_hidden_clients(sun_log.log, _fake_detection(), 0.5)
+
+
+class TestCensus:
+    def test_census_on_sun_log(self, sun_log, merged_table):
+        clusters = cluster_log(sun_log.log, merged_table)
+        detections = classify_clients(sun_log.log, clusters)
+        result = census(sun_log.log, detections)
+        assert result.spiders == len(sun_log.spider_clients)
+        assert result.proxies >= len(sun_log.proxy_clients)
+        assert result.visible_clients + result.spiders + result.proxies == (
+            sun_log.log.num_clients()
+        )
+        # The planted proxy relays thousands of requests: many users.
+        assert result.estimated_hidden_clients > result.proxies
+        assert result.total_effective_users > result.visible_clients
+        assert "visible" in result.describe()
+
+    def test_census_with_no_detections(self, nagano_log):
+        from repro.core.spiders import DetectionReport
+
+        result = census(nagano_log.log, DetectionReport())
+        assert result.spiders == 0
+        assert result.proxies == 0
+        assert result.estimated_hidden_clients == 0
+        assert result.visible_clients == nagano_log.log.num_clients()

@@ -1,0 +1,56 @@
+"""Unit/integration tests for second-level network clusters (§3.6)."""
+
+import random
+
+import pytest
+
+from repro.core.clustering import cluster_log
+from repro.core.netclusters import cluster_networks
+
+
+class TestNetworkClusters:
+    def _clusters(self, nagano_log, merged_table):
+        return cluster_log(nagano_log.log, merged_table)
+
+    def test_levels_aggregate_progressively(
+        self, nagano_log, merged_table, traceroute
+    ):
+        clusters = self._clusters(nagano_log, merged_table)
+        sizes = []
+        for level in (1, 2, 3):
+            grouped = cluster_networks(clusters, traceroute, level=level)
+            sizes.append(len(grouped))
+        assert sizes[0] >= sizes[1] >= sizes[2]
+        assert sizes[2] < len(clusters)
+
+    def test_every_cluster_in_exactly_one_group(
+        self, nagano_log, merged_table, traceroute
+    ):
+        clusters = self._clusters(nagano_log, merged_table)
+        grouped = cluster_networks(clusters, traceroute, level=2)
+        members = [id(c) for g in grouped.groups for c in g.members]
+        assert len(members) == len(clusters)
+        assert len(set(members)) == len(members)
+
+    def test_group_metrics_roll_up(self, nagano_log, merged_table, traceroute):
+        clusters = self._clusters(nagano_log, merged_table)
+        grouped = cluster_networks(clusters, traceroute, level=2)
+        total = sum(g.requests for g in grouped.groups)
+        assert total == sum(c.requests for c in clusters.clusters)
+        busiest = grouped.sorted_by_requests()[0]
+        assert busiest.requests >= grouped.sorted_by_requests()[-1].requests
+
+    def test_probe_budget_respected(self, nagano_log, merged_table, traceroute):
+        clusters = self._clusters(nagano_log, merged_table)
+        grouped = cluster_networks(
+            clusters, traceroute, samples_per_cluster=2, level=2,
+            rng=random.Random(1),
+        )
+        assert grouped.probes_used <= 2 * len(clusters)
+
+    def test_rejects_bad_parameters(self, nagano_log, merged_table, traceroute):
+        clusters = self._clusters(nagano_log, merged_table)
+        with pytest.raises(ValueError):
+            cluster_networks(clusters, traceroute, samples_per_cluster=0)
+        with pytest.raises(ValueError):
+            cluster_networks(clusters, traceroute, level=0)

@@ -1,0 +1,46 @@
+"""Unit/integration tests for the one-call site analysis."""
+
+from repro.core.report import analyze_log
+
+
+class TestAnalyzeLog:
+    def test_full_report_on_sun_log(self, sun_log, merged_table, dns,
+                                    topology):
+        report = analyze_log(
+            sun_log.log, merged_table, dns=dns, topology=topology
+        )
+        assert report.log_stats.requests == len(sun_log.log)
+        assert report.cluster_summary.num_clusters == len(report.cluster_set)
+        # The planted spider must be caught and excluded from busy work.
+        assert set(sun_log.spider_clients) <= set(
+            report.detections.spider_clients()
+        )
+        assert any("spider/proxy" in note for note in report.notes)
+        assert report.validation_pass_rate is not None
+        assert 0.0 <= report.validation_pass_rate <= 1.0
+
+    def test_report_without_oracles(self, nagano_log, merged_table):
+        report = analyze_log(nagano_log.log, merged_table)
+        assert report.validation_pass_rate is None
+        assert report.busy.busy
+
+    def test_busy_share_respected(self, nagano_log, merged_table):
+        strict = analyze_log(nagano_log.log, merged_table, busy_share=0.5)
+        loose = analyze_log(nagano_log.log, merged_table, busy_share=0.9)
+        assert len(loose.busy.busy) >= len(strict.busy.busy)
+
+    def test_render_contains_all_sections(self, sun_log, merged_table, dns,
+                                          topology):
+        report = analyze_log(
+            sun_log.log, merged_table, dns=dns, topology=topology
+        )
+        text = report.render()
+        for marker in ("=== log ===", "=== clusters ===",
+                       "=== robots and relays ===",
+                       "=== busy clusters", "=== notes ==="):
+            assert marker in text
+
+    def test_census_consistent_with_detections(self, sun_log, merged_table):
+        report = analyze_log(sun_log.log, merged_table)
+        assert report.client_census.spiders == len(report.detections.spiders)
+        assert report.client_census.proxies == len(report.detections.proxies)

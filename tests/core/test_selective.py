@@ -1,0 +1,141 @@
+"""Unit tests for selective-sampling (tolerant) validation."""
+
+import random
+
+import pytest
+
+from repro.core.clustering import Cluster, cluster_log
+from repro.core.selective import (
+    MODE_CLIENT,
+    MODE_REQUEST,
+    selective_validate,
+)
+from repro.core.validation import nslookup_validate, sample_clusters
+from repro.net.prefix import Prefix
+from repro.weblog.stats import requests_by_client
+
+
+def _mixed_cluster(topology, dns, rng, majority=19, minority=1):
+    """A cluster of ``majority`` clients from one resolvable entity plus
+    ``minority`` from another."""
+    resolvable_leafs = [
+        leaf for leaf in topology.leaf_networks
+        if topology.entities[leaf.entity_id].resolvable
+        and leaf.capacity >= majority + 2
+    ]
+    main_leaf = None
+    main_hosts = []
+    for leaf in resolvable_leafs:
+        hosts = [
+            h for h in topology.hosts_in_leaf(leaf, majority * 3, rng)
+            if dns.resolve(h)
+        ]
+        if len(hosts) >= majority:
+            main_leaf, main_hosts = leaf, hosts[:majority]
+            break
+    assert main_leaf is not None
+    other_hosts = []
+    for leaf in resolvable_leafs:
+        if leaf.entity_id == main_leaf.entity_id:
+            continue
+        hosts = [
+            h for h in topology.hosts_in_leaf(leaf, minority * 4, rng)
+            if dns.resolve(h)
+        ]
+        if len(hosts) >= minority:
+            other_hosts = hosts[:minority]
+            break
+    assert other_hosts
+    return Cluster(
+        Prefix.from_cidr("0.0.0.0/0"), clients=main_hosts + other_hosts
+    )
+
+
+class TestClientBased:
+    def test_tolerant_passes_where_strict_fails(self, topology, dns):
+        rng = random.Random(1)
+        cluster = _mixed_cluster(topology, dns, rng, majority=19, minority=1)
+        strict = nslookup_validate([cluster], dns, topology)
+        assert strict.misidentified == 1
+        tolerant = selective_validate([cluster], dns, tolerance=0.10)
+        assert tolerant.pass_rate == 1.0
+        assert tolerant.verdicts[0].agreement >= 0.9
+
+    def test_zero_tolerance_equals_strict_for_this_cluster(self, topology, dns):
+        rng = random.Random(2)
+        cluster = _mixed_cluster(topology, dns, rng)
+        report = selective_validate([cluster], dns, tolerance=0.0)
+        assert report.misidentified == 1
+
+    def test_unresolvable_cluster_passes_vacuously(self, topology, dns):
+        hidden = next(
+            leaf for leaf in topology.leaf_networks
+            if not topology.entities[leaf.entity_id].resolvable
+        )
+        rng = random.Random(3)
+        cluster = Cluster(hidden.prefix,
+                          clients=topology.hosts_in_leaf(hidden, 3, rng))
+        report = selective_validate([cluster], dns)
+        assert report.pass_rate == 1.0
+        assert report.verdicts[0].weighted_total == 0.0
+
+
+class TestRequestBased:
+    def test_busy_minority_fails_request_mode(self, topology, dns):
+        """One disagreeing client passes client-based validation at 10%
+        tolerance but fails request-based when it issues most traffic."""
+        rng = random.Random(4)
+        cluster = _mixed_cluster(topology, dns, rng, majority=15, minority=1)
+        minority_client = cluster.clients[-1]
+        # The disagreeing client issues ~25% of the cluster's requests:
+        # above the 10% tolerance by weight, but only 1/16 by headcount.
+        counts = {client: 10 for client in cluster.clients}
+        counts[minority_client] = 50
+        client_based = selective_validate(
+            [cluster], dns, tolerance=0.10, mode=MODE_CLIENT
+        )
+        request_based = selective_validate(
+            [cluster], dns, tolerance=0.10, mode=MODE_REQUEST,
+            request_counts=counts,
+        )
+        assert client_based.pass_rate == 1.0
+        assert request_based.misidentified == 1
+
+    def test_request_mode_requires_counts(self, topology, dns):
+        with pytest.raises(ValueError):
+            selective_validate([], dns, mode=MODE_REQUEST)
+
+
+class TestArguments:
+    def test_rejects_bad_tolerance(self, dns):
+        with pytest.raises(ValueError):
+            selective_validate([], dns, tolerance=1.0)
+        with pytest.raises(ValueError):
+            selective_validate([], dns, tolerance=-0.1)
+
+    def test_rejects_unknown_mode(self, dns):
+        with pytest.raises(ValueError):
+            selective_validate([], dns, mode="vibes")
+
+
+class TestOnRealClustering:
+    def test_tolerant_rate_at_least_strict_rate(
+        self, topology, dns, merged_table, nagano_log
+    ):
+        clusters = cluster_log(nagano_log.log, merged_table)
+        sample = sample_clusters(clusters, 0.3, random.Random(5), minimum=40)
+        strict = nslookup_validate(sample, dns, topology)
+        tolerant = selective_validate(sample, dns, tolerance=0.05)
+        assert tolerant.pass_rate >= strict.pass_rate
+
+    def test_request_mode_runs_on_real_log(
+        self, dns, merged_table, nagano_log
+    ):
+        clusters = cluster_log(nagano_log.log, merged_table)
+        sample = sample_clusters(clusters, 0.2, random.Random(6), minimum=25)
+        counts = requests_by_client(nagano_log.log)
+        report = selective_validate(
+            sample, dns, tolerance=0.05, mode=MODE_REQUEST,
+            request_counts=counts,
+        )
+        assert 0.0 <= report.pass_rate <= 1.0

@@ -1,0 +1,124 @@
+"""Unit/integration tests for self-correction (§3.5)."""
+
+import random
+
+import pytest
+
+from repro.core.clustering import Cluster, ClusterSet, cluster_log
+from repro.core.selfcorrect import SelfCorrector, covering_prefix
+from repro.core.validation import ground_truth_validate
+from repro.net.ipv4 import parse_ipv4
+from repro.net.prefix import Prefix
+
+
+class TestCoveringPrefix:
+    def test_single_address_is_host_route(self):
+        assert covering_prefix([parse_ipv4("1.2.3.4")]) == Prefix.from_cidr(
+            "1.2.3.4/32"
+        )
+
+    def test_two_neighbours(self):
+        cover = covering_prefix(
+            [parse_ipv4("10.0.0.1"), parse_ipv4("10.0.0.2")]
+        )
+        assert cover == Prefix.from_cidr("10.0.0.0/30")
+
+    def test_wide_spread(self):
+        cover = covering_prefix(
+            [parse_ipv4("10.0.0.1"), parse_ipv4("10.255.0.1")]
+        )
+        assert cover == Prefix.from_cidr("10.0.0.0/8")
+
+    def test_covers_all_inputs(self):
+        addresses = [parse_ipv4(a) for a in ("10.0.1.5", "10.0.2.9", "10.0.3.77")]
+        cover = covering_prefix(addresses)
+        assert all(cover.contains_address(a) for a in addresses)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            covering_prefix([])
+
+
+class TestCorrectionPass:
+    def _split_cluster_world(self, topology):
+        """Build a cluster set where one big leaf network was split in
+        two clusters and one cluster wrongly spans two entities."""
+        rng = random.Random(1)
+        big = max(topology.leaf_networks, key=lambda l: l.capacity)
+        hosts = topology.hosts_in_leaf(big, 6, rng)
+        left, right = big.prefix.children()
+        split_a = Cluster(left, clients=[h for h in hosts if left.contains_address(h)],
+                          requests=5)
+        split_b = Cluster(right, clients=[h for h in hosts if right.contains_address(h)],
+                          requests=7)
+        clusters = [c for c in (split_a, split_b) if c.clients]
+        return ClusterSet("t", "network-aware", clusters)
+
+    def test_merges_same_network_clusters(self, topology, traceroute):
+        cluster_set = self._split_cluster_world(topology)
+        if len(cluster_set) < 2:
+            pytest.skip("split did not produce two halves")
+        corrector = SelfCorrector(traceroute, samples_per_cluster=3, seed=2)
+        corrected, report = corrector.correct(cluster_set)
+        assert report.merges >= 1
+        assert len(corrected) < len(cluster_set)
+        merged = max(corrected.clusters, key=lambda c: c.num_clients)
+        assert merged.requests == 12  # metrics summed on merge
+
+    def test_splits_mixed_cluster(self, topology, traceroute):
+        rng = random.Random(3)
+        leafs = rng.sample(topology.leaf_networks, 30)
+        distinct = [
+            l for l in leafs[:10]
+            if l.entity_id != leafs[0].entity_id
+        ]
+        host_a = topology.hosts_in_leaf(leafs[0], 2, rng)
+        host_b = topology.hosts_in_leaf(distinct[0], 2, rng)
+        mixed = Cluster(
+            covering_prefix(host_a + host_b), clients=host_a + host_b
+        )
+        cluster_set = ClusterSet("t", "network-aware", [mixed])
+        corrector = SelfCorrector(traceroute, samples_per_cluster=4, seed=4)
+        corrected, report = corrector.correct(cluster_set)
+        assert report.splits >= 1
+        assert len(corrected) >= 2
+
+    def test_absorbs_unclustered_clients(self, topology, traceroute):
+        rng = random.Random(5)
+        leaf = max(topology.leaf_networks, key=lambda l: l.capacity)
+        hosts = topology.hosts_in_leaf(leaf, 4, rng)
+        known = Cluster(leaf.prefix, clients=hosts[:2])
+        cluster_set = ClusterSet(
+            "t", "network-aware", [known], unclustered_clients=hosts[2:]
+        )
+        corrector = SelfCorrector(traceroute, samples_per_cluster=4, seed=6)
+        corrected, report = corrector.correct(cluster_set)
+        assert corrected.unclustered_clients == []
+        merged = max(corrected.clusters, key=lambda c: c.num_clients)
+        assert set(hosts) <= set(merged.clients)
+
+    def test_input_not_mutated(self, topology, traceroute):
+        cluster_set = self._split_cluster_world(topology)
+        before = [(c.identifier, tuple(c.clients)) for c in cluster_set.clusters]
+        corrector = SelfCorrector(traceroute, seed=7)
+        corrector.correct(cluster_set)
+        after = [(c.identifier, tuple(c.clients)) for c in cluster_set.clusters]
+        assert before == after
+
+    def test_improves_ground_truth_accuracy(
+        self, topology, traceroute, merged_table, nagano_log
+    ):
+        """The paper's claim: self-correction raises accuracy."""
+        clusters = cluster_log(nagano_log.log, merged_table)
+        corrector = SelfCorrector(traceroute, samples_per_cluster=3, seed=8)
+        corrected, _ = corrector.correct(clusters)
+        before = ground_truth_validate(clusters.clusters, topology).pass_rate
+        after = ground_truth_validate(corrected.clusters, topology).pass_rate
+        assert after >= before
+
+    def test_report_describe(self, topology, traceroute):
+        cluster_set = self._split_cluster_world(topology)
+        corrector = SelfCorrector(traceroute, seed=9)
+        _, report = corrector.correct(cluster_set)
+        text = report.describe()
+        assert "merges" in text and "splits" in text

@@ -1,0 +1,30 @@
+"""Unit/integration tests for server clustering (§3.6)."""
+
+from repro.core.servercluster import cluster_servers
+from repro.weblog.presets import make_log
+
+
+class TestServerClustering:
+    def test_isp_trace_clusters_servers(self, topology, merged_table):
+        synthetic = make_log(topology, "isp", scale=0.08, seed=9)
+        report = cluster_servers(synthetic.log, merged_table)
+        assert report.unique_servers == synthetic.log.num_clients()
+        assert len(report.cluster_set) < report.unique_servers
+        assert report.unclusterable_fraction < 0.01
+
+    def test_request_concentration(self, topology, merged_table):
+        """Paper: ~4% of server clusters receive 70% of requests."""
+        synthetic = make_log(topology, "isp", scale=0.08, seed=9)
+        report = cluster_servers(synthetic.log, merged_table)
+        assert report.top_cluster_share(0.70) < 0.5
+        assert 0.0 < report.top_cluster_share(0.70) <= 1.0
+
+    def test_share_monotone_in_target(self, topology, merged_table):
+        synthetic = make_log(topology, "isp", scale=0.08, seed=9)
+        report = cluster_servers(synthetic.log, merged_table)
+        assert report.top_cluster_share(0.5) <= report.top_cluster_share(0.9)
+
+    def test_describe_mentions_counts(self, topology, merged_table):
+        synthetic = make_log(topology, "isp", scale=0.08, seed=9)
+        report = cluster_servers(synthetic.log, merged_table)
+        assert "servers" in report.describe()

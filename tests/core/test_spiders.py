@@ -1,0 +1,128 @@
+"""Unit/integration tests for spider/proxy detection (§4.1.2)."""
+
+from repro.core.clustering import cluster_log
+from repro.core.spiders import (
+    arrival_histogram,
+    classify_clients,
+    detect_proxies,
+    detect_spiders,
+    pattern_correlation,
+    profile_clients,
+)
+from repro.net.ipv4 import parse_ipv4
+from repro.weblog.entry import LogEntry
+from repro.weblog.parser import WebLog
+
+
+class TestPatternCorrelation:
+    def test_identical_series(self):
+        assert pattern_correlation([1, 5, 2, 8], [1, 5, 2, 8]) == 1.0
+
+    def test_scaled_series(self):
+        assert pattern_correlation([1, 5, 2, 8], [2, 10, 4, 16]) == 1.0
+
+    def test_anticorrelated(self):
+        assert pattern_correlation([1, 2, 3], [3, 2, 1]) == -1.0
+
+    def test_constant_series_zero(self):
+        assert pattern_correlation([4, 4, 4], [1, 2, 3]) == 0.0
+
+    def test_short_series_zero(self):
+        assert pattern_correlation([1], [1]) == 0.0
+
+
+class TestArrivalHistogram:
+    def test_counts_all_and_filters(self):
+        log = WebLog(
+            "t",
+            [
+                LogEntry(parse_ipv4("1.2.3.4"), 0.0, "/a"),
+                LogEntry(parse_ipv4("1.2.3.4"), 3700.0, "/a"),
+                LogEntry(parse_ipv4("1.2.3.5"), 100.0, "/a"),
+            ],
+        )
+        assert arrival_histogram(log) == [2, 1]
+        assert arrival_histogram(log, {parse_ipv4("1.2.3.5")}) == [1, 0]
+
+    def test_empty_log(self):
+        assert arrival_histogram(WebLog("t")) == []
+
+
+class TestProfiles:
+    def test_profile_fields(self):
+        log = WebLog(
+            "t",
+            [
+                LogEntry(parse_ipv4("1.2.3.4"), 0.0, "/a", user_agent="UA1"),
+                LogEntry(parse_ipv4("1.2.3.4"), 60.0, "/b", user_agent="UA2"),
+                LogEntry(parse_ipv4("1.2.3.4"), 120.0, "/a", user_agent="UA1"),
+            ],
+        )
+        profiles = profile_clients(log)
+        profile = profiles[parse_ipv4("1.2.3.4")]
+        assert profile.requests == 3
+        assert profile.unique_urls == 2
+        assert profile.user_agents == {"UA1", "UA2"}
+        assert profile.mean_think_seconds == 60.0
+        assert sum(profile.histogram) == 3
+
+    def test_single_request_infinite_think_time(self):
+        log = WebLog("t", [LogEntry(parse_ipv4("1.2.3.4"), 0.0, "/a")])
+        profile = profile_clients(log)[parse_ipv4("1.2.3.4")]
+        assert profile.mean_think_seconds == float("inf")
+
+
+class TestDetectionOnPlantedWorkloads:
+    def test_sun_spider_detected_exactly(self, sun_log, merged_table):
+        clusters = cluster_log(sun_log.log, merged_table)
+        detections = detect_spiders(sun_log.log, clusters)
+        assert [d.client for d in detections] == sun_log.spider_clients
+
+    def test_sun_proxy_detected(self, sun_log, merged_table):
+        clusters = cluster_log(sun_log.log, merged_table)
+        report = classify_clients(sun_log.log, clusters)
+        assert set(sun_log.proxy_clients) <= set(report.proxy_clients())
+
+    def test_no_false_spiders_in_nagano(self, nagano_log, merged_table):
+        """Nagano is a transient event log with no spiders (§4.1.2)."""
+        clusters = cluster_log(nagano_log.log, merged_table)
+        detections = detect_spiders(nagano_log.log, clusters)
+        assert detections == []
+
+    def test_nagano_proxies_found(self, nagano_log, merged_table):
+        clusters = cluster_log(nagano_log.log, merged_table)
+        report = classify_clients(nagano_log.log, clusters)
+        assert set(nagano_log.proxy_clients) <= set(report.proxy_clients())
+
+    def test_spider_never_double_reported_as_proxy(self, sun_log, merged_table):
+        clusters = cluster_log(sun_log.log, merged_table)
+        report = classify_clients(sun_log.log, clusters)
+        assert not set(report.spider_clients()) & set(report.proxy_clients())
+
+    def test_spider_evidence_fields(self, sun_log, merged_table):
+        clusters = cluster_log(sun_log.log, merged_table)
+        (detection,) = detect_spiders(sun_log.log, clusters)
+        assert detection.kind == "spider"
+        assert detection.request_share_of_cluster > 0.8
+        assert detection.diurnal_correlation < 0.5
+        assert detection.unique_urls > 0.1 * sun_log.log.unique_urls()
+        assert "spider" in detection.describe()
+
+    def test_proxy_evidence_fields(self, sun_log, merged_table):
+        clusters = cluster_log(sun_log.log, merged_table)
+        detections = detect_proxies(sun_log.log, clusters)
+        planted = set(sun_log.proxy_clients)
+        ours = [d for d in detections if d.client in planted]
+        assert ours
+        assert ours[0].diurnal_correlation >= 0.5
+        assert ours[0].user_agents >= 3
+
+
+class TestDetectionEdgeCases:
+    def test_empty_log(self):
+        from repro.core.clustering import ClusterSet
+
+        log = WebLog("empty")
+        clusters = ClusterSet("empty", "network-aware", [])
+        assert detect_spiders(log, clusters) == []
+        assert detect_proxies(log, clusters) == []

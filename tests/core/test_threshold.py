@@ -1,0 +1,77 @@
+"""Unit tests for busy-cluster thresholding (§4.1.3)."""
+
+import pytest
+
+from repro.core.clustering import Cluster, ClusterSet, cluster_log
+from repro.core.threshold import threshold_busy_clusters
+from repro.net.prefix import Prefix
+
+
+def make_set(request_counts):
+    clusters = [
+        Cluster(Prefix.from_cidr(f"10.0.{i}.0/24"), clients=[i],
+                requests=count)
+        for i, count in enumerate(request_counts)
+    ]
+    return ClusterSet("t", "network-aware", clusters)
+
+
+class TestThresholdRule:
+    def test_seventy_percent_coverage(self):
+        report = threshold_busy_clusters(make_set([70, 20, 5, 3, 2]))
+        assert [c.requests for c in report.busy] == [70]
+        assert report.busy_requests == 70
+        assert report.threshold_requests == 70
+
+    def test_accumulates_until_target(self):
+        report = threshold_busy_clusters(make_set([40, 30, 20, 10]))
+        # 70% of 100 = 70; 40 + 30 = 70 reached after two clusters.
+        assert [c.requests for c in report.busy] == [40, 30]
+        assert report.threshold_requests == 30
+
+    def test_custom_share(self):
+        report = threshold_busy_clusters(make_set([50, 30, 20]), 0.95)
+        assert len(report.busy) == 3
+
+    def test_rejects_bad_share(self):
+        with pytest.raises(ValueError):
+            threshold_busy_clusters(make_set([1]), 0.0)
+        with pytest.raises(ValueError):
+            threshold_busy_clusters(make_set([1]), 1.5)
+
+    def test_empty_set(self):
+        report = threshold_busy_clusters(make_set([]))
+        assert report.busy == [] and report.less_busy == []
+        assert report.threshold_requests == 0
+        assert report.busy_range() == (0, 0, 0, 0)
+
+    def test_partition_complete(self):
+        report = threshold_busy_clusters(make_set([9, 8, 7, 6, 5]))
+        assert len(report.busy) + len(report.less_busy) == 5
+
+    def test_busy_are_the_busiest(self):
+        report = threshold_busy_clusters(make_set([5, 50, 10, 35]))
+        busy_min = min(c.requests for c in report.busy)
+        less_max = max(c.requests for c in report.less_busy)
+        assert busy_min >= less_max
+
+
+class TestRanges:
+    def test_ranges(self):
+        report = threshold_busy_clusters(make_set([40, 30, 20, 10]))
+        assert report.busy_range() == (30, 40, 1, 1)
+        assert report.less_busy_range() == (10, 20, 1, 1)
+        assert "busy" in report.describe()
+
+
+class TestOnRealClustering:
+    def test_busy_fraction_much_smaller_than_total(
+        self, nagano_log, merged_table
+    ):
+        """Table 5's point: 70% of traffic concentrates in a small
+        minority of clusters."""
+        clusters = cluster_log(nagano_log.log, merged_table)
+        report = threshold_busy_clusters(clusters)
+        assert len(report.busy) < 0.45 * report.total_clusters
+        total = sum(c.requests for c in clusters.clusters)
+        assert report.busy_requests >= 0.7 * total

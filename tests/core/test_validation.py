@@ -1,0 +1,182 @@
+"""Unit/integration tests for cluster validation (§3.3)."""
+
+import random
+
+import pytest
+
+from repro.core.clustering import Cluster, cluster_log
+from repro.core.validation import (
+    ground_truth_validate,
+    names_share_suffix,
+    nslookup_validate,
+    sample_clusters,
+    simple_approach_pass_rate,
+    traceroute_validate,
+)
+from repro.net.prefix import Prefix
+
+
+class TestNamesSuffixRule:
+    def test_paper_example_matches(self):
+        assert names_share_suffix(
+            "macbeth.cs.wits.ac.za", "macabre.cs.wits.ac.za"
+        )
+
+    def test_paper_example_mismatches(self):
+        # §2's three hosts in one simple cluster but different orgs.
+        assert not names_share_suffix(
+            "client-151-198-194-17.bellatlantic.net",
+            "mailsrv1.wakefern.com",
+        )
+        assert not names_share_suffix(
+            "mailsrv1.wakefern.com", "firewall.commonhealthusa.com"
+        )
+
+    def test_short_names_use_two_components(self):
+        assert names_share_suffix("a.dummy.com", "b.dummy.com")
+        assert not names_share_suffix("a.dummy.com", "a.other.com")
+
+    def test_long_names_use_three_components(self):
+        assert names_share_suffix("x.cs.uni.ac.za", "y.ee.uni.ac.za")
+        assert not names_share_suffix("x.cs.unia.ac.za", "x.cs.unib.ac.za")
+
+    def test_mixed_lengths_use_smaller_n(self):
+        # 3-component vs 5-component: compare last 2.
+        assert names_share_suffix("host.isp.net", "a.b.host.isp.net")
+
+    def test_identical_tiny_names(self):
+        assert names_share_suffix("localhost", "localhost")
+        assert not names_share_suffix("localhost", "otherhost")
+
+
+class TestSampling:
+    def test_sample_size_fraction(self, merged_table, nagano_log):
+        clusters = cluster_log(nagano_log.log, merged_table)
+        sample = sample_clusters(clusters, 0.05, random.Random(1), minimum=5)
+        expected = max(5, round(len(clusters) * 0.05))
+        assert len(sample) == min(len(clusters), expected)
+
+    def test_sample_of_empty_set(self):
+        from repro.core.clustering import ClusterSet
+
+        assert sample_clusters(ClusterSet("t", "m", []), 0.5) == []
+
+    def test_sample_deterministic_with_rng(self, merged_table, nagano_log):
+        clusters = cluster_log(nagano_log.log, merged_table)
+        a = sample_clusters(clusters, 0.05, random.Random(9))
+        b = sample_clusters(clusters, 0.05, random.Random(9))
+        assert [c.identifier for c in a] == [c.identifier for c in b]
+
+
+class TestNslookupValidation:
+    def _run(self, topology, dns, merged_table, nagano_log):
+        clusters = cluster_log(nagano_log.log, merged_table)
+        sample = sample_clusters(clusters, 0.25, random.Random(2), minimum=30)
+        return nslookup_validate(sample, dns, topology,
+                                 total_clusters=len(clusters))
+
+    def test_pass_rate_over_90_percent(self, topology, dns, merged_table,
+                                       nagano_log):
+        report = self._run(topology, dns, merged_table, nagano_log)
+        assert report.pass_rate > 0.85  # paper: > 90% (sampling noise)
+
+    def test_roughly_half_clients_resolve(self, topology, dns, merged_table,
+                                          nagano_log):
+        report = self._run(topology, dns, merged_table, nagano_log)
+        ratio = report.reachable_clients / max(1, report.sampled_clients)
+        # Wide bounds: the shared test world is small, so per-entity
+        # resolvability variance is large; the paper-scale ~50% figure
+        # is asserted by the sec33/table3 experiments at full size.
+        assert 0.10 < ratio < 0.90
+
+    def test_verdict_counts_consistent(self, topology, dns, merged_table,
+                                       nagano_log):
+        report = self._run(topology, dns, merged_table, nagano_log)
+        assert report.misidentified_non_us <= report.misidentified
+        assert report.misidentified == sum(1 for v in report.verdicts if v.failed)
+
+    def test_single_client_cluster_trivially_passes(self, topology, dns):
+        cluster = Cluster(Prefix.from_cidr("10.0.0.0/24"), clients=[1])
+        report = nslookup_validate([cluster], dns, topology)
+        assert report.pass_rate == 1.0
+
+    def test_mixed_entity_cluster_fails(self, topology, dns, merged_table):
+        """A handcrafted cluster spanning two resolvable entities with
+        different domains must be flagged."""
+        resolvable = []
+        rng = random.Random(3)
+        for leaf in topology.leaf_networks:
+            entity = topology.entities[leaf.entity_id]
+            if entity.resolvable and entity.kind != "isp_pool":
+                host = topology.hosts_in_leaf(leaf, 1, rng)[0]
+                if dns.resolve(host):
+                    resolvable.append((host, entity.entity_id))
+            if len({eid for _, eid in resolvable}) >= 2:
+                break
+        hosts = []
+        seen = set()
+        for host, eid in resolvable:
+            if eid not in seen:
+                hosts.append(host)
+                seen.add(eid)
+        assert len(hosts) >= 2
+        cluster = Cluster(Prefix.from_cidr("0.0.0.0/0"), clients=hosts[:2])
+        report = nslookup_validate([cluster], dns, topology)
+        assert report.misidentified == 1
+
+
+class TestTracerouteValidation:
+    def test_reaches_every_client(self, topology, traceroute, merged_table,
+                                  nagano_log):
+        clusters = cluster_log(nagano_log.log, merged_table)
+        sample = sample_clusters(clusters, 0.2, random.Random(4), minimum=25)
+        report = traceroute_validate(sample, traceroute, topology)
+        assert report.reachable_clients == report.sampled_clients
+
+    def test_probe_accounting_attached(self, topology, traceroute,
+                                       merged_table, nagano_log):
+        clusters = cluster_log(nagano_log.log, merged_table)
+        sample = sample_clusters(clusters, 0.1, random.Random(5), minimum=10)
+        report = traceroute_validate(sample, traceroute, topology)
+        assert report.probe_accounting is not None
+        assert report.probe_accounting.destinations == report.sampled_clients
+
+    def test_pass_rate_reasonable(self, topology, traceroute, merged_table,
+                                  nagano_log):
+        clusters = cluster_log(nagano_log.log, merged_table)
+        sample = sample_clusters(clusters, 0.25, random.Random(6), minimum=30)
+        report = traceroute_validate(sample, traceroute, topology)
+        assert report.pass_rate > 0.8
+
+
+class TestGroundTruth:
+    def test_single_entity_cluster_passes(self, topology):
+        rng = random.Random(7)
+        leaf = max(topology.leaf_networks, key=lambda l: l.capacity)
+        hosts = topology.hosts_in_leaf(leaf, 4, rng)
+        cluster = Cluster(leaf.prefix, clients=hosts)
+        report = ground_truth_validate([cluster], topology)
+        assert report.pass_rate == 1.0
+
+    def test_bogus_client_fails_cluster(self, topology):
+        rng = random.Random(8)
+        leaf = topology.leaf_networks[0]
+        hosts = topology.hosts_in_leaf(leaf, 1, rng)
+        hosts.append(topology.unallocated_address(rng))
+        cluster = Cluster(Prefix.from_cidr("0.0.0.0/0"), clients=hosts)
+        report = ground_truth_validate([cluster], topology)
+        assert report.misidentified == 1
+
+
+class TestSimpleApproachRate:
+    def test_counts_only_length_24(self):
+        clusters = [
+            Cluster(Prefix.from_cidr("10.0.0.0/24")),
+            Cluster(Prefix.from_cidr("10.0.0.0/16")),
+            Cluster(Prefix.from_cidr("10.0.0.0/28")),
+            Cluster(Prefix.from_cidr("10.0.1.0/24")),
+        ]
+        assert simple_approach_pass_rate(clusters) == 0.5
+
+    def test_empty_sample(self):
+        assert simple_approach_pass_rate([]) == 1.0

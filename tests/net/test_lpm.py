@@ -1,0 +1,88 @@
+"""Unit tests for the alternative LPM engines."""
+
+import random
+
+import pytest
+
+from repro.net.ipv4 import parse_ipv4
+from repro.net.lpm import LinearLpm, SortedLpm, build_engine
+from repro.net.prefix import Prefix
+from repro.net.radix import RadixTree
+
+
+def p(cidr: str) -> Prefix:
+    return Prefix.from_cidr(cidr)
+
+
+@pytest.fixture(params=[LinearLpm, SortedLpm])
+def engine(request):
+    return request.param()
+
+
+class TestEngineBasics:
+    def test_empty(self, engine):
+        assert len(engine) == 0
+        assert engine.longest_match(parse_ipv4("1.2.3.4")) is None
+
+    def test_insert_and_match(self, engine):
+        engine.insert(p("10.0.0.0/8"), "coarse")
+        engine.insert(p("10.1.0.0/16"), "fine")
+        assert engine.longest_match(parse_ipv4("10.1.0.1")) == (
+            p("10.1.0.0/16"), "fine"
+        )
+        assert engine.longest_match(parse_ipv4("10.2.0.1")) == (
+            p("10.0.0.0/8"), "coarse"
+        )
+        assert engine.longest_match(parse_ipv4("11.0.0.1")) is None
+
+    def test_overwrite(self, engine):
+        engine.insert(p("10.0.0.0/8"), "a")
+        engine.insert(p("10.0.0.0/8"), "b")
+        assert len(engine) == 1
+        assert engine.longest_match(parse_ipv4("10.0.0.1"))[1] == "b"
+
+    def test_delete(self, engine):
+        engine.insert(p("10.0.0.0/8"), "a")
+        assert engine.delete(p("10.0.0.0/8"))
+        assert not engine.delete(p("10.0.0.0/8"))
+        assert engine.longest_match(parse_ipv4("10.0.0.1")) is None
+
+    def test_items_sorted(self, engine):
+        cidrs = ["172.16.0.0/12", "10.0.0.0/8", "10.0.0.0/24"]
+        for cidr in cidrs:
+            engine.insert(p(cidr), cidr)
+        ordered = [prefix.cidr for prefix, _ in engine.items()]
+        assert ordered == ["10.0.0.0/8", "10.0.0.0/24", "172.16.0.0/12"]
+
+
+class TestEngineEquivalence:
+    def test_three_engines_agree(self):
+        rng = random.Random(99)
+        prefixes = []
+        for _ in range(200):
+            prefixes.append((Prefix(rng.getrandbits(32), rng.randint(2, 32)), "v"))
+        radix = build_engine("radix", prefixes)
+        linear = build_engine("linear", prefixes)
+        sorted_engine = build_engine("sorted", prefixes)
+        for _ in range(400):
+            address = rng.getrandbits(32)
+            results = {
+                kind: engine.longest_match(address)
+                for kind, engine in (
+                    ("radix", radix), ("linear", linear), ("sorted", sorted_engine)
+                )
+            }
+            matched = {
+                kind: (result[0] if result else None)
+                for kind, result in results.items()
+            }
+            assert matched["radix"] == matched["linear"] == matched["sorted"]
+
+    def test_build_engine_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            build_engine("quantum", [])
+
+    def test_build_engine_kinds(self):
+        assert isinstance(build_engine("radix", []), RadixTree)
+        assert isinstance(build_engine("linear", []), LinearLpm)
+        assert isinstance(build_engine("sorted", []), SortedLpm)

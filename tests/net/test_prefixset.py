@@ -1,0 +1,130 @@
+"""Unit + property tests for PrefixSet address-space algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.prefix import Prefix
+from repro.net.prefixset import PrefixSet
+
+
+def p(cidr: str) -> Prefix:
+    return Prefix.from_cidr(cidr)
+
+
+def ps(*cidrs: str) -> PrefixSet:
+    return PrefixSet(p(c) for c in cidrs)
+
+
+class TestConstruction:
+    def test_normalises_siblings(self):
+        assert ps("10.0.0.0/25", "10.0.0.128/25") == ps("10.0.0.0/24")
+
+    def test_drops_covered(self):
+        assert ps("10.0.0.0/8", "10.1.0.0/16") == ps("10.0.0.0/8")
+
+    def test_empty(self):
+        assert not PrefixSet.empty()
+        assert PrefixSet.empty().num_addresses == 0
+
+    def test_universe(self):
+        assert PrefixSet.universe().num_addresses == 2 ** 32
+
+    def test_equality_is_space_equality(self):
+        quarters = ps("10.0.0.0/26", "10.0.0.64/26", "10.0.0.128/26",
+                      "10.0.0.192/26")
+        assert quarters == ps("10.0.0.0/24")
+        assert hash(quarters) == hash(ps("10.0.0.0/24"))
+
+
+class TestMembership:
+    def test_contains_address_binary_search(self):
+        space = ps("10.0.0.0/24", "192.0.2.0/24")
+        assert space.contains_address(p("10.0.0.0/24").network + 7)
+        assert space.contains_address(p("192.0.2.0/24").last_address)
+        assert not space.contains_address(p("11.0.0.0/8").network)
+
+    def test_contains_prefix(self):
+        space = ps("10.0.0.0/16")
+        assert space.contains_prefix(p("10.0.5.0/24"))
+        assert space.contains_prefix(p("10.0.0.0/16"))
+        assert not space.contains_prefix(p("10.0.0.0/8"))
+        assert not space.contains_prefix(p("11.0.0.0/24"))
+
+
+class TestAlgebra:
+    def test_union(self):
+        combined = ps("10.0.0.0/25") | ps("10.0.0.128/25")
+        assert combined == ps("10.0.0.0/24")
+
+    def test_intersection(self):
+        left = ps("10.0.0.0/8")
+        right = ps("10.5.0.0/16", "11.0.0.0/16")
+        assert (left & right) == ps("10.5.0.0/16")
+
+    def test_intersection_partial_overlap(self):
+        left = ps("10.0.0.0/24")
+        right = ps("10.0.0.128/25")
+        assert (left & right) == ps("10.0.0.128/25")
+
+    def test_difference(self):
+        assert (ps("10.0.0.0/24") - ps("10.0.0.0/25")) == ps("10.0.0.128/25")
+
+    def test_complement_round_trip(self):
+        space = ps("10.0.0.0/8", "192.0.2.0/24")
+        assert space.complement().complement() == space
+        assert space.complement().num_addresses == 2 ** 32 - space.num_addresses
+
+    def test_complement_of_universe_is_empty(self):
+        assert PrefixSet.universe().complement() == PrefixSet.empty()
+        assert PrefixSet.empty().complement() == PrefixSet.universe()
+
+    def test_subset_and_overlap(self):
+        small, big = ps("10.0.1.0/24"), ps("10.0.0.0/16")
+        assert small.issubset(big)
+        assert not big.issubset(small)
+        assert small.overlaps(big)
+        assert not small.overlaps(ps("192.0.2.0/24"))
+
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+prefixes = st.builds(Prefix, addresses, st.integers(min_value=0, max_value=32))
+prefix_lists = st.lists(prefixes, min_size=0, max_size=15)
+
+
+@settings(max_examples=60)
+@given(prefix_lists, prefix_lists)
+def test_union_address_count_by_inclusion_exclusion(list_a, list_b):
+    a, b = PrefixSet(list_a), PrefixSet(list_b)
+    union = a | b
+    inter = a & b
+    assert union.num_addresses == (
+        a.num_addresses + b.num_addresses - inter.num_addresses
+    )
+
+
+@settings(max_examples=60)
+@given(prefix_lists, prefix_lists)
+def test_difference_disjoint_from_subtrahend(list_a, list_b):
+    a, b = PrefixSet(list_a), PrefixSet(list_b)
+    diff = a - b
+    assert not diff.overlaps(b)
+    assert diff.issubset(a)
+    assert (diff | (a & b)) == a
+
+
+@settings(max_examples=60)
+@given(prefix_lists, addresses)
+def test_membership_matches_input_cover(prefix_list, address):
+    space = PrefixSet(prefix_list)
+    expected = any(prefix.contains_address(address) for prefix in prefix_list)
+    assert space.contains_address(address) == expected
+
+
+@settings(max_examples=60)
+@given(prefix_lists)
+def test_blocks_disjoint_and_sorted(prefix_list):
+    space = PrefixSet(prefix_list)
+    blocks = space.blocks
+    for left, right in zip(blocks, blocks[1:]):
+        assert left.last_address < right.network

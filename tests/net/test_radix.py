@@ -1,0 +1,198 @@
+"""Unit tests for the radix (Patricia) trie."""
+
+import random
+
+import pytest
+
+from repro.net.ipv4 import parse_ipv4
+from repro.net.prefix import Prefix
+from repro.net.radix import RadixTree
+
+
+def p(cidr: str) -> Prefix:
+    return Prefix.from_cidr(cidr)
+
+
+class TestInsertGet:
+    def test_empty_tree(self):
+        tree = RadixTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.longest_match(parse_ipv4("1.2.3.4")) is None
+        assert tree.get(p("10.0.0.0/8")) is None
+
+    def test_single_entry(self):
+        tree = RadixTree()
+        tree.insert(p("10.0.0.0/8"), "ten")
+        assert len(tree) == 1
+        assert tree.get(p("10.0.0.0/8")) == "ten"
+        assert p("10.0.0.0/8") in tree
+
+    def test_overwrite_keeps_size(self):
+        tree = RadixTree()
+        tree.insert(p("10.0.0.0/8"), "a")
+        tree.insert(p("10.0.0.0/8"), "b")
+        assert len(tree) == 1
+        assert tree.get(p("10.0.0.0/8")) == "b"
+
+    def test_get_returns_default_for_prefix_on_path(self):
+        tree = RadixTree()
+        tree.insert(p("10.0.0.0/8"), "eight")
+        # /16 lies on the path below the /8 node but stores no value.
+        assert tree.get(p("10.0.0.0/16"), "missing") == "missing"
+
+    def test_nested_prefixes_all_retrievable(self):
+        tree = RadixTree()
+        entries = ["10.0.0.0/8", "10.0.0.0/16", "10.0.0.0/24", "10.0.0.0/32"]
+        for cidr in entries:
+            tree.insert(p(cidr), cidr)
+        for cidr in entries:
+            assert tree.get(p(cidr)) == cidr
+        assert len(tree) == 4
+
+    def test_fork_point_prefix_insertion(self):
+        tree = RadixTree()
+        tree.insert(p("10.0.0.0/24"), "left")
+        tree.insert(p("10.0.1.0/24"), "right")
+        # The fork covering both is 10.0.0.0/23; inserting it stores a
+        # value at the existing structural node.
+        tree.insert(p("10.0.0.0/23"), "fork")
+        assert tree.get(p("10.0.0.0/23")) == "fork"
+        assert len(tree) == 3
+
+
+class TestLongestMatch:
+    def test_paper_example(self):
+        """§3.2.1's worked example: four clients match 12.65.128.0/19,
+        two match 24.48.2.0/23."""
+        tree = RadixTree()
+        tree.insert(p("12.65.128.0/19"), "c1")
+        tree.insert(p("24.48.2.0/23"), "c2")
+        group1 = ["12.65.147.94", "12.65.147.149", "12.65.146.207",
+                  "12.65.144.247"]
+        group2 = ["24.48.3.87", "24.48.2.166"]
+        for text in group1:
+            match = tree.longest_match(parse_ipv4(text))
+            assert match is not None and match[0] == p("12.65.128.0/19")
+        for text in group2:
+            match = tree.longest_match(parse_ipv4(text))
+            assert match is not None and match[0] == p("24.48.2.0/23")
+
+    def test_most_specific_wins(self):
+        tree = RadixTree()
+        tree.insert(p("10.0.0.0/8"), "coarse")
+        tree.insert(p("10.1.0.0/16"), "fine")
+        match = tree.longest_match(parse_ipv4("10.1.2.3"))
+        assert match == (p("10.1.0.0/16"), "fine")
+        match = tree.longest_match(parse_ipv4("10.2.0.1"))
+        assert match == (p("10.0.0.0/8"), "coarse")
+
+    def test_no_match_outside_all_prefixes(self):
+        tree = RadixTree()
+        tree.insert(p("10.0.0.0/8"), "x")
+        assert tree.longest_match(parse_ipv4("11.0.0.1")) is None
+
+    def test_default_route_matches_all(self):
+        tree = RadixTree()
+        tree.insert(p("0.0.0.0/0"), "default")
+        assert tree.longest_match(0)[1] == "default"
+        assert tree.longest_match(parse_ipv4("203.0.113.9"))[1] == "default"
+
+    def test_host_route(self):
+        tree = RadixTree()
+        tree.insert(p("1.2.3.4/32"), "host")
+        tree.insert(p("1.2.3.0/24"), "net")
+        assert tree.longest_match(parse_ipv4("1.2.3.4"))[1] == "host"
+        assert tree.longest_match(parse_ipv4("1.2.3.5"))[1] == "net"
+
+    def test_all_matches_shortest_first(self):
+        tree = RadixTree()
+        for cidr in ("10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"):
+            tree.insert(p(cidr), cidr)
+        matches = tree.all_matches(parse_ipv4("10.1.2.3"))
+        assert [m[0].cidr for m in matches] == [
+            "10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"
+        ]
+
+
+class TestDelete:
+    def test_delete_present(self):
+        tree = RadixTree()
+        tree.insert(p("10.0.0.0/8"), "x")
+        assert tree.delete(p("10.0.0.0/8"))
+        assert len(tree) == 0
+        assert tree.longest_match(parse_ipv4("10.0.0.1")) is None
+
+    def test_delete_absent_returns_false(self):
+        tree = RadixTree()
+        tree.insert(p("10.0.0.0/8"), "x")
+        assert not tree.delete(p("11.0.0.0/8"))
+        assert not tree.delete(p("10.0.0.0/16"))
+        assert len(tree) == 1
+
+    def test_delete_keeps_structure(self):
+        tree = RadixTree()
+        for cidr in ("10.0.0.0/8", "10.0.0.0/16", "10.0.1.0/24", "10.0.2.0/24"):
+            tree.insert(p(cidr), cidr)
+        assert tree.delete(p("10.0.0.0/16"))
+        assert tree.get(p("10.0.1.0/24")) == "10.0.1.0/24"
+        assert tree.get(p("10.0.2.0/24")) == "10.0.2.0/24"
+        assert tree.longest_match(parse_ipv4("10.0.1.7"))[0] == p("10.0.1.0/24")
+        assert tree.longest_match(parse_ipv4("10.9.9.9"))[0] == p("10.0.0.0/8")
+
+    def test_clear(self):
+        tree = RadixTree()
+        tree.insert(p("10.0.0.0/8"), "x")
+        tree.clear()
+        assert len(tree) == 0
+
+
+class TestIteration:
+    def test_items_in_address_order(self):
+        tree = RadixTree()
+        cidrs = ["192.168.1.0/24", "10.0.0.0/8", "10.0.0.0/16", "172.16.0.0/12"]
+        for cidr in cidrs:
+            tree.insert(p(cidr), cidr)
+        ordered = [prefix.cidr for prefix, _ in tree.items()]
+        assert ordered == sorted(cidrs, key=lambda c: p(c).sort_key())
+
+    def test_iter_yields_prefixes(self):
+        tree = RadixTree()
+        tree.insert(p("10.0.0.0/8"), 1)
+        assert list(tree) == [p("10.0.0.0/8")]
+
+    def test_covered(self):
+        tree = RadixTree()
+        for cidr in ("10.0.0.0/8", "10.1.0.0/16", "11.0.0.0/8"):
+            tree.insert(p(cidr), cidr)
+        inside = [prefix.cidr for prefix, _ in tree.covered(p("10.0.0.0/8"))]
+        assert inside == ["10.0.0.0/8", "10.1.0.0/16"]
+
+
+class TestRandomisedAgainstBruteForce:
+    def test_matches_linear_scan(self):
+        """Seeded randomised cross-check of the trie against an O(n)
+        oracle (the deeper hypothesis checks live in
+        test_properties.py)."""
+        rng = random.Random(7)
+        tree = RadixTree()
+        reference = {}
+        for _ in range(300):
+            length = rng.randint(4, 32)
+            network = rng.getrandbits(32)
+            prefix = Prefix(network, length)
+            tree.insert(prefix, prefix.cidr)
+            reference[prefix] = prefix.cidr
+        assert len(tree) == len(reference)
+        for _ in range(500):
+            address = rng.getrandbits(32)
+            expected = None
+            for prefix in reference:
+                if prefix.contains_address(address):
+                    if expected is None or prefix.length > expected.length:
+                        expected = prefix
+            got = tree.longest_match(address)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None and got[0] == expected

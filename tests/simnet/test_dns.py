@@ -1,0 +1,122 @@
+"""Unit tests for the simulated reverse DNS."""
+
+import random
+
+import pytest
+
+from repro.simnet.dns import (
+    SimulatedDns,
+    name_components,
+    nontrivial_suffix,
+    shared_suffix_length,
+)
+from repro.simnet.entities import EntityKind
+
+
+class TestSuffixRules:
+    def test_components(self):
+        assert name_components("foo.dummy.com") == ("foo", "dummy", "com")
+        assert name_components("macbeth.cs.wits.ac.za") == (
+            "macbeth", "cs", "wits", "ac", "za"
+        )
+
+    def test_paper_rule_n3_for_long_names(self):
+        # m >= 4 -> n = 3
+        assert shared_suffix_length("macbeth.cs.wits.ac.za") == 3
+        assert shared_suffix_length("a.b.c.d") == 3
+
+    def test_paper_rule_n2_for_short_names(self):
+        # m < 4 -> n = 2
+        assert shared_suffix_length("foo.dummy.com") == 2
+        assert shared_suffix_length("dummy.com") == 2
+
+    def test_nontrivial_suffix(self):
+        assert nontrivial_suffix("macbeth.cs.wits.ac.za") == ("wits", "ac", "za")
+        assert nontrivial_suffix("mailsrv1.wakefern.com") == ("wakefern", "com")
+
+
+class TestResolution:
+    def test_deterministic(self, topology):
+        a = SimulatedDns(topology)
+        b = SimulatedDns(topology)
+        rng = random.Random(1)
+        leaf = rng.choice(topology.leaf_networks)
+        for host in topology.hosts_in_leaf(leaf, 5, rng):
+            assert a.resolve(host) == b.resolve(host)
+
+    def test_resolve_consistent_with_is_resolvable(self, topology, dns):
+        rng = random.Random(2)
+        for leaf in rng.sample(topology.leaf_networks, 40):
+            host = topology.hosts_in_leaf(leaf, 1, rng)[0]
+            assert (dns.resolve(host) is not None) == dns.is_resolvable(host)
+
+    def test_names_end_with_entity_domain(self, topology, dns):
+        rng = random.Random(3)
+        found = 0
+        for leaf in rng.sample(topology.leaf_networks, 80):
+            host = topology.hosts_in_leaf(leaf, 1, rng)[0]
+            name = dns.resolve(host)
+            if name is None:
+                continue
+            entity = topology.entities[leaf.entity_id]
+            assert name.endswith("." + entity.domain)
+            found += 1
+        assert found > 0
+
+    def test_pool_hosts_get_dialup_style_names(self, topology, dns):
+        from repro.net.ipv4 import format_ipv4
+
+        rng = random.Random(4)
+        pools = [
+            leaf for leaf in topology.leaf_networks
+            if topology.entities[leaf.entity_id].kind == EntityKind.ISP_POOL
+        ]
+        checked = 0
+        for leaf in pools[:50]:
+            host = topology.hosts_in_leaf(leaf, 1, rng)[0]
+            name = dns.resolve(host)
+            if name is None:
+                continue
+            expected = "client-" + format_ipv4(host).replace(".", "-")
+            assert name.startswith(expected)
+            checked += 1
+        assert checked > 0
+
+    def test_unresolvable_entity_hides_all_hosts(self, topology, dns):
+        rng = random.Random(5)
+        hidden = [
+            leaf for leaf in topology.leaf_networks
+            if not topology.entities[leaf.entity_id].resolvable
+        ]
+        assert hidden, "expected some unresolvable entities"
+        leaf = hidden[0]
+        for host in topology.hosts_in_leaf(leaf, 5, rng):
+            assert dns.resolve(host) is None
+
+    def test_unallocated_address_unresolvable(self, topology, dns):
+        rng = random.Random(6)
+        assert dns.resolve(topology.unallocated_address(rng)) is None
+
+    def test_overall_resolvability_near_half(self, topology, dns):
+        """The paper's ~50% nslookup resolvability (§3.3)."""
+        rng = random.Random(7)
+        resolved = total = 0
+        for leaf in rng.sample(topology.leaf_networks, 250):
+            for host in topology.hosts_in_leaf(leaf, 2, rng):
+                total += 1
+                if dns.is_resolvable(host):
+                    resolved += 1
+        assert 0.3 < resolved / total < 0.8
+
+    def test_rejects_out_of_range_address(self, dns):
+        with pytest.raises(ValueError):
+            dns.resolve(-1)
+
+    def test_lookup_counter_increments(self, topology):
+        dns = SimulatedDns(topology)
+        rng = random.Random(8)
+        leaf = rng.choice(topology.leaf_networks)
+        host = topology.hosts_in_leaf(leaf, 1, rng)[0]
+        dns.resolve(host)
+        dns.resolve(host)
+        assert dns.lookups_performed == 2

@@ -1,0 +1,43 @@
+"""Unit tests for topology statistics."""
+
+from repro.simnet.entities import AsKind, EntityKind
+from repro.simnet.stats import summarize_topology
+
+
+class TestSummarizeTopology:
+    def test_counts_match_topology(self, topology):
+        stats = summarize_topology(topology)
+        assert stats.num_ases == len(topology.ases)
+        assert stats.num_allocations == len(topology.allocations)
+        assert stats.num_leaf_networks == len(topology.leaf_networks)
+        assert stats.num_entities == len(topology.entities)
+
+    def test_kind_breakdowns_complete(self, topology):
+        stats = summarize_topology(topology)
+        assert sum(stats.ases_by_kind.values()) == stats.num_ases
+        assert sum(stats.entities_by_kind.values()) == stats.num_entities
+        assert AsKind.REGIONAL_ISP in stats.ases_by_kind
+        assert EntityKind.ISP_POOL in stats.entities_by_kind
+
+    def test_histograms_cover_all_items(self, topology):
+        stats = summarize_topology(topology)
+        assert sum(stats.leaf_length_histogram.values()) == (
+            stats.num_leaf_networks
+        )
+        assert sum(stats.allocation_length_histogram.values()) == (
+            stats.num_allocations
+        )
+
+    def test_fractions_in_range(self, topology):
+        stats = summarize_topology(topology)
+        assert 0.0 < stats.announced_leaf_fraction < 1.0
+        assert 0.0 < stats.non_us_as_fraction < 1.0
+
+    def test_pool_entities_own_many_leafs(self, topology):
+        """ISP pool entities span many chunks; the max leafs-per-entity
+        must reflect that concentration."""
+        stats = summarize_topology(topology)
+        assert stats.leafs_per_entity_max > 5
+
+    def test_describe(self, topology):
+        assert "ASes" in summarize_topology(topology).describe()

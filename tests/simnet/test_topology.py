@@ -1,0 +1,174 @@
+"""Unit/integration tests for the ground-truth topology."""
+
+import random
+
+import pytest
+
+from repro.simnet.entities import AsKind, EntityKind
+from repro.simnet.topology import TopologyConfig, generate_topology
+
+
+class TestGeneration:
+    def test_deterministic_in_seed(self, small_config):
+        a = generate_topology(small_config)
+        b = generate_topology(small_config)
+        assert [l.prefix for l in a.leaf_networks] == [
+            l.prefix for l in b.leaf_networks
+        ]
+        assert {e.domain for e in a.entities.values()} == {
+            e.domain for e in b.entities.values()
+        }
+
+    def test_different_seed_different_world(self, small_config, topology):
+        import dataclasses
+
+        other = generate_topology(
+            dataclasses.replace(small_config, seed=small_config.seed + 1)
+        )
+        assert {e.domain for e in other.entities.values()} != {
+            e.domain for e in topology.entities.values()
+        }
+
+    def test_counts_match_config(self, topology, small_config):
+        kinds = {}
+        for autonomous_system in topology.ases.values():
+            kinds[autonomous_system.kind] = kinds.get(autonomous_system.kind, 0) + 1
+        assert kinds[AsKind.BACKBONE] == small_config.num_backbone
+        assert kinds[AsKind.REGIONAL_ISP] == small_config.num_regional_isps
+        assert kinds[AsKind.NATIONAL_GATEWAY] == small_config.num_gateways
+        assert kinds[AsKind.LEGACY_B] == small_config.num_legacy_b
+
+
+class TestStructuralInvariants:
+    def test_leaf_networks_are_disjoint(self, topology):
+        ordered = sorted(topology.leaf_networks, key=lambda l: l.prefix.sort_key())
+        for left, right in zip(ordered, ordered[1:]):
+            assert not left.prefix.overlaps(right.prefix), (
+                f"{left.prefix} overlaps {right.prefix}"
+            )
+
+    def test_every_leaf_inside_its_allocation(self, topology):
+        allocations = {a.prefix: a for a in topology.allocations}
+        for leaf in topology.leaf_networks:
+            allocation = allocations[leaf.allocation_prefix]
+            assert allocation.prefix.contains_prefix(leaf.prefix)
+            assert allocation.asn == leaf.asn
+
+    def test_leafs_partition_their_allocation(self, topology):
+        by_allocation = {}
+        for leaf in topology.leaf_networks:
+            by_allocation.setdefault(leaf.allocation_prefix, []).append(leaf)
+        for allocation_prefix, leafs in by_allocation.items():
+            covered = sum(l.prefix.num_addresses for l in leafs)
+            assert covered == allocation_prefix.num_addresses
+
+    def test_entity_references_valid(self, topology):
+        for leaf in topology.leaf_networks:
+            assert leaf.entity_id in topology.entities
+            assert leaf.asn in topology.ases
+
+    def test_gateways_are_non_us(self, topology):
+        for autonomous_system in topology.ases.values():
+            if autonomous_system.kind == AsKind.NATIONAL_GATEWAY:
+                assert autonomous_system.country != "US"
+
+    def test_gateway_leafs_never_announced_into_bgp(self, topology):
+        announced = {prefix for prefix, _ in topology.announced_routes()}
+        for leaf in topology.leaf_networks:
+            if topology.ases[leaf.asn].is_gateway:
+                assert leaf.prefix not in announced or (
+                    leaf.prefix == leaf.allocation_prefix
+                )
+
+    def test_domains_unique_per_entity(self, topology):
+        domains = [e.domain for e in topology.entities.values()]
+        assert len(domains) == len(set(domains))
+
+    def test_same_entity_same_site_shares_edge_router(self, topology):
+        routers = {}
+        for leaf in topology.leaf_networks:
+            key = (leaf.entity_id, leaf.site)
+            routers.setdefault(key, set()).add(leaf.edge_router)
+        for key, edge_routers in routers.items():
+            assert len(edge_routers) == 1
+
+
+class TestQueries:
+    def test_leaf_for_address_round_trip(self, topology):
+        rng = random.Random(3)
+        for leaf in rng.sample(topology.leaf_networks, 50):
+            for host in topology.hosts_in_leaf(leaf, 2, rng):
+                assert topology.leaf_for_address(host) is leaf
+
+    def test_entity_and_as_for_address(self, topology):
+        rng = random.Random(4)
+        leaf = rng.choice(topology.leaf_networks)
+        host = topology.hosts_in_leaf(leaf, 1, rng)[0]
+        assert topology.entity_for_address(host).entity_id == leaf.entity_id
+        assert topology.as_for_address(host).asn == leaf.asn
+
+    def test_unallocated_address_resolves_to_nothing(self, topology):
+        rng = random.Random(5)
+        for _ in range(20):
+            bogus = topology.unallocated_address(rng)
+            assert topology.leaf_for_address(bogus) is None
+            assert topology.allocation_for_address(bogus) is None
+
+    def test_hosts_in_leaf_distinct_and_inside(self, topology):
+        rng = random.Random(6)
+        leaf = max(topology.leaf_networks, key=lambda l: l.capacity)
+        hosts = topology.hosts_in_leaf(leaf, 10, rng)
+        assert len(set(hosts)) == len(hosts)
+        for host in hosts:
+            assert leaf.prefix.contains_address(host)
+
+    def test_hosts_request_capped_by_capacity(self, topology):
+        rng = random.Random(7)
+        leaf = min(topology.leaf_networks, key=lambda l: l.capacity)
+        hosts = topology.hosts_in_leaf(leaf, leaf.capacity + 50, rng)
+        assert len(hosts) == leaf.capacity
+
+
+class TestAnnouncementShape:
+    def test_about_half_of_announcements_are_24(self, topology):
+        """Figure 1's headline: ~50% of visible prefixes are /24."""
+        from collections import Counter
+
+        lengths = Counter(p.length for p, _ in topology.announced_routes())
+        total = sum(lengths.values())
+        assert 0.35 < lengths[24] / total < 0.65
+
+    def test_nap_view_has_more_short_than_long_non24(self, factory):
+        """Figure 1's asymmetry is a property of what a NAP route server
+        shows (long customer specifics are filtered there); the raw
+        announcement set legitimately contains many /25–/29 forwarding
+        specifics."""
+        from repro.bgp.sources import source_by_name
+
+        snapshot = factory.snapshot(source_by_name("MAE-WEST"))
+        histogram = snapshot.prefix_length_histogram()
+        shorter = sum(c for length, c in histogram.items() if length < 24)
+        longer = sum(c for length, c in histogram.items() if length > 24)
+        assert shorter > longer * 5
+
+    def test_registry_blocks_are_allocations(self, topology):
+        registry = {prefix for prefix, _ in topology.registry_blocks()}
+        assert registry == {a.prefix for a in topology.allocations}
+
+
+class TestEntityKinds:
+    def test_pool_entities_resolvable(self, topology):
+        for entity in topology.entities.values():
+            if entity.kind == EntityKind.ISP_POOL:
+                assert entity.resolvable
+
+    def test_multi_site_entities_exist(self, topology):
+        assert any(e.sites > 1 for e in topology.entities.values())
+
+    def test_entity_kind_validation(self):
+        from repro.simnet.entities import AdminEntity
+
+        with pytest.raises(ValueError):
+            AdminEntity(1, "freelancer", "x.com", True)
+        with pytest.raises(ValueError):
+            AdminEntity(1, EntityKind.BUSINESS, "x.com", True, sites=0)

@@ -1,0 +1,126 @@
+"""Unit tests for the simulated (optimized) traceroute."""
+
+import random
+
+from repro.simnet.traceroute import (
+    CLASSIC_PROBES_PER_TTL,
+    MAX_TTL,
+    ProbeAccounting,
+    SimulatedTraceroute,
+)
+
+
+class TestPaths:
+    def test_same_leaf_same_path(self, topology, traceroute):
+        rng = random.Random(1)
+        leaf = max(topology.leaf_networks, key=lambda l: l.capacity)
+        host_a, host_b = topology.hosts_in_leaf(leaf, 2, rng)
+        assert traceroute.path_to(host_a) == traceroute.path_to(host_b)
+
+    def test_last_hop_is_leaf_edge_router(self, topology, traceroute):
+        rng = random.Random(2)
+        leaf = rng.choice(topology.leaf_networks)
+        host = topology.hosts_in_leaf(leaf, 1, rng)[0]
+        assert traceroute.path_to(host)[-1] == leaf.edge_router
+
+    def test_different_entities_different_last_hops(self, topology, traceroute):
+        rng = random.Random(3)
+        leafs = rng.sample(topology.leaf_networks, 40)
+        pairs = [
+            (a, b)
+            for a in leafs for b in leafs
+            if a.entity_id != b.entity_id
+        ]
+        a, b = pairs[0]
+        host_a = topology.hosts_in_leaf(a, 1, rng)[0]
+        host_b = topology.hosts_in_leaf(b, 1, rng)[0]
+        assert traceroute.path_to(host_a)[-1] != traceroute.path_to(host_b)[-1]
+
+    def test_unallocated_address_gets_short_backbone_path(
+        self, topology, traceroute
+    ):
+        rng = random.Random(4)
+        bogus = topology.unallocated_address(rng)
+        path = traceroute.path_to(bogus)
+        assert len(path) == 2
+
+
+class TestOptimizedProbe:
+    def test_resolvable_host_costs_one_probe(self, topology, dns, traceroute):
+        rng = random.Random(5)
+        for leaf in rng.sample(topology.leaf_networks, 60):
+            host = topology.hosts_in_leaf(leaf, 1, rng)[0]
+            result = traceroute.optimized(host)
+            if dns.is_resolvable(host):
+                assert result.probes_sent == 1
+                assert result.name is not None
+                assert result.rtt_ms is not None
+                return
+        raise AssertionError("no resolvable host found in sample")
+
+    def test_silent_host_walks_path(self, topology, dns, traceroute):
+        rng = random.Random(6)
+        for leaf in rng.sample(topology.leaf_networks, 60):
+            host = topology.hosts_in_leaf(leaf, 1, rng)[0]
+            result = traceroute.optimized(host)
+            if not dns.is_resolvable(host):
+                assert result.name is None
+                assert result.probes_sent > 1
+                assert result.path  # path discovered instead
+                assert result.resolved
+                return
+        raise AssertionError("no silent host found in sample")
+
+    def test_every_host_resolves_name_or_path(self, topology, traceroute):
+        """§3.3: optimized traceroute reaches 100% name-or-path."""
+        rng = random.Random(7)
+        for leaf in rng.sample(topology.leaf_networks, 80):
+            host = topology.hosts_in_leaf(leaf, 1, rng)[0]
+            assert traceroute.optimized(host).resolved
+
+    def test_last_hops_slice(self, topology, traceroute):
+        rng = random.Random(8)
+        leaf = rng.choice(topology.leaf_networks)
+        host = topology.hosts_in_leaf(leaf, 1, rng)[0]
+        result = traceroute.optimized(host)
+        assert result.last_hops(2) == result.path[-2:]
+        assert result.last_hops(99) == result.path
+
+
+class TestCostAccounting:
+    def test_classic_silent_host_probes_to_max_ttl(
+        self, topology, dns, traceroute
+    ):
+        rng = random.Random(9)
+        for leaf in rng.sample(topology.leaf_networks, 60):
+            host = topology.hosts_in_leaf(leaf, 1, rng)[0]
+            if not dns.is_resolvable(host):
+                result = traceroute.classic(host)
+                assert result.probes_sent == MAX_TTL * CLASSIC_PROBES_PER_TTL
+                return
+        raise AssertionError("no silent host found")
+
+    def test_optimized_saves_most_probes_and_wait(self, topology, traceroute):
+        """§3.3's headline: ~90% probe and ~80% wait savings."""
+        rng = random.Random(10)
+        hosts = [
+            topology.hosts_in_leaf(leaf, 1, rng)[0]
+            for leaf in rng.sample(topology.leaf_networks, 150)
+        ]
+        _, optimized_cost = traceroute.probe_batch(hosts, optimized=True)
+        _, classic_cost = traceroute.probe_batch(hosts, optimized=False)
+        probe_saving, wait_saving = optimized_cost.savings_vs(classic_cost)
+        assert probe_saving > 0.7
+        assert wait_saving > 0.7
+
+    def test_probe_batch_accounting_sums(self, topology, traceroute):
+        rng = random.Random(11)
+        leaf = rng.choice(topology.leaf_networks)
+        hosts = topology.hosts_in_leaf(leaf, 3, rng)
+        results, accounting = traceroute.probe_batch(hosts)
+        assert accounting.destinations == len(results) == len(hosts)
+        assert accounting.probes == sum(r.probes_sent for r in results)
+
+    def test_savings_vs_empty_is_zero(self):
+        empty = ProbeAccounting()
+        assert empty.savings_vs(ProbeAccounting()) == (0.0, 0.0)

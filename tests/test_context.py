@@ -1,0 +1,41 @@
+"""Unit tests for the experiment context's memoisation."""
+
+from repro.experiments.context import ExperimentContext
+
+
+class TestMemoisation:
+    def test_topology_built_once(self):
+        ctx = ExperimentContext(seed=5, scale=0.02)
+        assert ctx.topology is ctx.topology
+
+    def test_merged_table_cached(self):
+        ctx = ExperimentContext(seed=5, scale=0.02)
+        assert ctx.merged_table is ctx.merged_table
+
+    def test_logs_cached_per_preset(self):
+        ctx = ExperimentContext(seed=5, scale=0.02)
+        assert ctx.log("nagano") is ctx.log("nagano")
+        assert ctx.log("nagano") is not ctx.log("ew3")
+
+    def test_clusterings_cached_per_method(self):
+        from repro.core.clustering import METHOD_SIMPLE
+
+        ctx = ExperimentContext(seed=5, scale=0.02)
+        aware = ctx.clusters("nagano")
+        assert ctx.clusters("nagano") is aware
+        simple = ctx.clusters("nagano", METHOD_SIMPLE)
+        assert simple is not aware
+        assert simple.method == METHOD_SIMPLE
+
+    def test_oracles_share_topology(self):
+        ctx = ExperimentContext(seed=5, scale=0.02)
+        assert ctx.dns is ctx.dns
+        assert ctx.traceroute is ctx.traceroute
+
+    def test_different_seeds_differ(self):
+        a = ExperimentContext(seed=5, scale=0.02)
+        b = ExperimentContext(seed=6, scale=0.02)
+        assert len(a.topology.leaf_networks) != 0
+        assert [l.prefix for l in a.topology.leaf_networks[:20]] != [
+            l.prefix for l in b.topology.leaf_networks[:20]
+        ]

@@ -1,0 +1,66 @@
+"""Smoke tests: every paper experiment runs end-to-end at tiny scale
+and emits the markers its table/figure needs."""
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.runner import EXPERIMENTS, TITLES, run_experiment
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(seed=31, scale=0.06)
+
+
+#: Per-experiment output markers that must appear.
+MARKERS = {
+    "fig1": ["/24 share", "prefix-length distribution"],
+    "table1": ["OREGON", "merged unique prefix/netmask"],
+    "table2": ["next hop"],
+    "fig3": ["CDF", "clusters:"],
+    "fig4": ["largest clusters"],
+    "fig5": ["busiest clusters"],
+    "fig6": ["nagano", "apache", "ew3", "sun"],
+    "table3": ["nslookup", "traceroute", "pass rate"],
+    "fig7": ["network-aware", "simple"],
+    "table4": ["AADS", "Maximum effect"],
+    "sec32": ["clustered (merged)", "registry"],
+    "sec33": ["probe", "saving"],
+    "sec35": ["self-correction"],
+    "sec36": ["server clustering", "network clusters"],
+    "fig9": ["entire server log"],
+    "fig10": ["spider"],
+    "table5": ["Threshold", "busy"],
+    "fig11": ["cache size", "hit"],
+    "ext-selective": ["strict", "tolerant"],
+    "ext-as": ["AS groups", "merge candidates"],
+    "ext-realtime": ["window clusters", "busiest"],
+    "ext-placement": ["proxy sites", "reduction"],
+    # At the smoke-test scale proxy detection may come up empty, so
+    # only the always-present census lines are asserted.
+    "ext-census": ["visible", "effective user population"],
+    "calib": ["paper target", "measured"],
+    "ext-aspath": ["transit hubs", "AS-path length"],
+    "ext-coverage": ["cumulative", "registry"],
+    "ext-coop": ["sibling", "co-op"],
+    "ext-multiserver": ["origin", "overall"],
+    "fig12": ["proxies", "hit ratio"],
+}
+
+
+def test_every_experiment_registered():
+    assert set(MARKERS) == set(EXPERIMENTS)
+
+
+@pytest.mark.parametrize("name", sorted(MARKERS))
+def test_experiment_runs_and_emits_markers(name, ctx):
+    output = run_experiment(name, ctx)
+    assert isinstance(output, str) and output
+    for marker in MARKERS[name]:
+        assert marker in output, f"{name}: missing {marker!r}"
+    assert name in TITLES
+
+
+def test_unknown_experiment_rejected(ctx):
+    with pytest.raises(ValueError):
+        run_experiment("fig99", ctx)

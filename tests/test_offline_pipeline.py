@@ -1,0 +1,63 @@
+"""End-to-end offline pipeline: everything through files.
+
+The paper's workflow was file-based: collected dump files plus server
+log files in, cluster reports out.  This test drives the same flow:
+the synthetic world is serialised to disk (snapshot archive + CLF log),
+then the analysis runs purely from those files — through the library
+API and through the ``repro-cluster`` CLI.
+"""
+
+import pytest
+
+from repro.bgp.archive import SnapshotArchive
+from repro.bgp.synth import SnapshotTime
+from repro.cli import main as cli_main
+from repro.core.clustering import cluster_log
+from repro.weblog.writer import load_log, save_log
+
+
+@pytest.fixture(scope="module")
+def on_disk(factory, nagano_log, tmp_path_factory):
+    root = tmp_path_factory.mktemp("offline")
+    archive = SnapshotArchive(root / "dumps")
+    archive.collect(factory, SnapshotTime(0))
+    log_path = root / "access.log"
+    save_log(nagano_log.log, log_path)
+    return archive, log_path
+
+
+class TestLibraryOfflineFlow:
+    def test_disk_pipeline_matches_memory_pipeline(
+        self, on_disk, factory, nagano_log
+    ):
+        archive, log_path = on_disk
+        table = archive.merged_table("d0s0")
+        log = load_log(log_path)
+        from_disk = cluster_log(log, table)
+        in_memory = cluster_log(nagano_log.log, factory.merged())
+        assert len(from_disk) == len(in_memory)
+        assert from_disk.clustered_fraction == pytest.approx(
+            in_memory.clustered_fraction
+        )
+        assert {c.identifier for c in from_disk.clusters} == {
+            c.identifier for c in in_memory.clusters
+        }
+
+
+class TestCliOfflineFlow:
+    def test_cli_clusters_from_files(self, on_disk, capsys):
+        archive, log_path = on_disk
+        dump_args = []
+        for entry in archive.entries():
+            dump_args.extend(["--table", str(entry.path)])
+        assert cli_main([str(log_path), *dump_args, "--busy", "0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "clusters over" in out
+        assert "busy" in out
+
+    def test_cli_with_subset_of_dumps_covers_less(self, on_disk, capsys):
+        archive, log_path = on_disk
+        smallest = min(archive.entries(), key=lambda e: e.size_bytes)
+        assert cli_main([str(log_path), "--table", str(smallest.path)]) == 0
+        out = capsys.readouterr().out
+        assert "unclustered clients:" in out  # one tiny view can't cover all

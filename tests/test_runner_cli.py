@@ -1,0 +1,47 @@
+"""Unit tests for the repro-experiments CLI runner."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, TITLES, main
+
+
+class TestRegistry:
+    def test_all_experiments_titled(self):
+        assert set(TITLES) == set(EXPERIMENTS)
+        assert all(TITLES.values())
+
+    def test_paper_artifacts_present(self):
+        expected = {
+            "fig1", "table1", "table2", "fig3", "fig4", "fig5", "fig6",
+            "table3", "fig7", "table4", "table5", "fig9", "fig10",
+            "fig11", "fig12", "sec32", "sec33", "sec35", "sec36",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["table2", "--scale", "0.05", "--seed", "17"]) == 0
+        out = capsys.readouterr().out
+        assert "[table2]" in out
+        assert "VBNS" in out
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_output_directory(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main([
+            "table2", "--scale", "0.05", "--seed", "17",
+            "--output", str(out_dir),
+        ]) == 0
+        written = out_dir / "table2.txt"
+        assert written.exists()
+        assert "[table2]" in written.read_text()
+
+    def test_multiple_ids(self, capsys):
+        assert main(["table2", "table1", "--scale", "0.05",
+                     "--seed", "17"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("[table2]") < out.index("[table1]")

@@ -1,0 +1,53 @@
+"""Unit tests for ASCII plotting helpers."""
+
+import pytest
+
+from repro.util.ascii_plot import ascii_cdf, ascii_histogram, ascii_series
+
+
+class TestSeries:
+    def test_renders_points(self):
+        text = ascii_series([1, 10, 100], title="t")
+        assert text.startswith("t")
+        assert "*" in text
+
+    def test_log_scales_annotated(self):
+        text = ascii_series([1, 10, 100], log_x=True, log_y=True)
+        assert text.count("(log10)") == 2
+
+    def test_empty(self):
+        assert ascii_series([], title="nothing") == "nothing"
+
+    def test_log_filters_nonpositive(self):
+        text = ascii_series([0, 0, 5], log_y=True)
+        assert "*" in text
+
+    def test_constant_series(self):
+        text = ascii_series([5, 5, 5])
+        assert "*" in text
+
+
+class TestHistogram:
+    def test_bars_scale(self):
+        text = ascii_histogram(["a", "b"], [1, 10], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") < lines[1].count("#")
+        assert lines[1].count("#") == 10
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(["a"], [1, 2])
+
+    def test_zero_counts(self):
+        text = ascii_histogram(["a"], [0])
+        assert "0" in text
+
+
+class TestCdf:
+    def test_monotone_render(self):
+        text = ascii_cdf([1, 2, 2, 3, 10, 100], title="cdf")
+        assert text.startswith("cdf")
+        assert "*" in text
+
+    def test_empty(self):
+        assert ascii_cdf([], title="cdf") == "cdf"

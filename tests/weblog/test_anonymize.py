@@ -1,0 +1,129 @@
+"""Unit + property tests for prefix-preserving anonymization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import cluster_log
+from repro.net.ipv4 import parse_ipv4
+from repro.weblog.anonymize import PrefixPreservingAnonymizer
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+def common_prefix_length(a: int, b: int) -> int:
+    diff = a ^ b
+    if diff == 0:
+        return 32
+    return 32 - diff.bit_length()
+
+
+class TestAddressMapping:
+    def test_deterministic(self):
+        anonymizer = PrefixPreservingAnonymizer(key=7)
+        again = PrefixPreservingAnonymizer(key=7)
+        address = parse_ipv4("151.198.194.17")
+        assert anonymizer.anonymize_address(address) == (
+            again.anonymize_address(address)
+        )
+
+    def test_different_keys_differ(self):
+        address = parse_ipv4("151.198.194.17")
+        a = PrefixPreservingAnonymizer(key=7).anonymize_address(address)
+        b = PrefixPreservingAnonymizer(key=8).anonymize_address(address)
+        assert a != b
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            PrefixPreservingAnonymizer(1).anonymize_address(-1)
+
+    @settings(max_examples=120)
+    @given(addresses, addresses, st.integers(min_value=0, max_value=2**31))
+    def test_prefix_preservation_property(self, a, b, key):
+        """The defining property: common-prefix lengths are invariant."""
+        anonymizer = PrefixPreservingAnonymizer(key=key)
+        ax = anonymizer.anonymize_address(a)
+        bx = anonymizer.anonymize_address(b)
+        assert common_prefix_length(a, b) == common_prefix_length(ax, bx)
+
+    @settings(max_examples=80)
+    @given(addresses, st.integers(min_value=0, max_value=2**31))
+    def test_injective_on_samples(self, a, key):
+        """Prefix preservation at 32 bits implies injectivity."""
+        anonymizer = PrefixPreservingAnonymizer(key=key)
+        b = a ^ 1  # differs in the last bit
+        assert anonymizer.anonymize_address(a) != anonymizer.anonymize_address(b)
+
+
+class TestPrefixMapping:
+    def test_length_preserved(self):
+        from repro.net.prefix import Prefix
+
+        anonymizer = PrefixPreservingAnonymizer(key=3)
+        prefix = Prefix.from_cidr("12.65.128.0/19")
+        assert anonymizer.anonymize_prefix(prefix).length == 19
+
+    def test_membership_preserved(self):
+        """An address inside a prefix stays inside the anonymized
+        prefix — the property clustering depends on."""
+        from repro.net.prefix import Prefix
+
+        anonymizer = PrefixPreservingAnonymizer(key=3)
+        prefix = Prefix.from_cidr("12.65.128.0/19")
+        rng = random.Random(5)
+        for _ in range(40):
+            inside = prefix.network + rng.randrange(prefix.num_addresses)
+            outside = rng.getrandbits(32)
+            anonymized_prefix = anonymizer.anonymize_prefix(prefix)
+            assert anonymized_prefix.contains_address(
+                anonymizer.anonymize_address(inside)
+            )
+            if not prefix.contains_address(outside):
+                assert not anonymized_prefix.contains_address(
+                    anonymizer.anonymize_address(outside)
+                )
+
+
+class TestClusteringIsomorphism:
+    def test_anonymized_clustering_isomorphic(self, nagano_log, merged_table):
+        """The headline guarantee: clustering the anonymized log with
+        the anonymized table yields the same structure (same cluster
+        sizes, same membership up to the address mapping)."""
+        anonymizer = PrefixPreservingAnonymizer(key=99)
+        original = cluster_log(nagano_log.log, merged_table)
+        anonymized = cluster_log(
+            anonymizer.anonymize_log(nagano_log.log),
+            anonymizer.anonymize_table(merged_table),
+        )
+        assert len(anonymized) == len(original)
+        assert sorted(c.num_clients for c in anonymized.clusters) == (
+            sorted(c.num_clients for c in original.clusters)
+        )
+        assert sorted(c.requests for c in anonymized.clusters) == (
+            sorted(c.requests for c in original.clusters)
+        )
+        # Membership isomorphism via the mapping itself: the image of
+        # every original cluster's client set must be exactly one
+        # anonymized cluster's client set.
+        anonymized_sets = {
+            frozenset(c.clients) for c in anonymized.clusters
+        }
+        for cluster in original.clusters:
+            image = frozenset(
+                anonymizer.anonymize_address(client)
+                for client in cluster.clients
+            )
+            assert image in anonymized_sets
+
+    def test_unclustered_clients_preserved(self, nagano_log, merged_table):
+        anonymizer = PrefixPreservingAnonymizer(key=99)
+        original = cluster_log(nagano_log.log, merged_table)
+        anonymized = cluster_log(
+            anonymizer.anonymize_log(nagano_log.log),
+            anonymizer.anonymize_table(merged_table),
+        )
+        assert len(anonymized.unclustered_clients) == len(
+            original.unclustered_clients
+        )

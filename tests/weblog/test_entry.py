@@ -1,0 +1,114 @@
+"""Unit tests for log entries and CLF parsing."""
+
+import pytest
+
+from repro.net.ipv4 import parse_ipv4
+from repro.weblog.entry import (
+    LogEntry,
+    LogFormatError,
+    format_clf_time,
+    parse_clf_time,
+)
+
+
+class TestClfTime:
+    def test_nagano_epoch(self):
+        assert format_clf_time(887328000.0) == "13/Feb/1998:00:00:00 +0000"
+
+    def test_round_trip(self):
+        for timestamp in (0.0, 887328000.0, 1234567890.0):
+            assert parse_clf_time(format_clf_time(timestamp)) == timestamp
+
+    def test_zone_offset_honoured(self):
+        utc = parse_clf_time("13/Feb/1998:00:00:00 +0000")
+        plus_two = parse_clf_time("13/Feb/1998:02:00:00 +0200")
+        assert utc == plus_two
+
+    def test_negative_zone(self):
+        utc = parse_clf_time("13/Feb/1998:00:00:00 +0000")
+        minus_five = parse_clf_time("12/Feb/1998:19:00:00 -0500")
+        assert utc == minus_five
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "13/Feb/1998", "13/Xyz/1998:00:00:00 +0000", "not a date"],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(LogFormatError):
+            parse_clf_time(text)
+
+
+class TestLogEntryRoundTrip:
+    def _entry(self, **overrides):
+        fields = dict(
+            client=parse_ipv4("12.65.147.94"),
+            timestamp=887328000.0,
+            url="/index.html",
+            size=2048,
+            status=200,
+            method="GET",
+            user_agent="Mozilla/4.0 (compatible; MSIE 4.01; Windows 95)",
+            referer="/home.html",
+        )
+        fields.update(overrides)
+        return LogEntry(**fields)
+
+    def test_combined_round_trip(self):
+        entry = self._entry()
+        assert LogEntry.from_clf(entry.to_clf()) == entry
+
+    def test_common_format_drops_agent(self):
+        entry = self._entry()
+        parsed = LogEntry.from_clf(entry.to_clf(combined=False))
+        assert parsed.user_agent == ""
+        assert parsed.url == entry.url
+        assert parsed.client == entry.client
+
+    def test_zero_size_renders_dash(self):
+        entry = self._entry(size=0, status=304)
+        line = entry.to_clf()
+        assert " 304 -" in line
+        assert LogEntry.from_clf(line).size == 0
+
+    def test_client_text(self):
+        assert self._entry().client_text == "12.65.147.94"
+
+    def test_head_request(self):
+        entry = self._entry(method="HEAD")
+        assert LogEntry.from_clf(entry.to_clf()).method == "HEAD"
+
+
+class TestFromClfEdgeCases:
+    def test_real_world_line(self):
+        line = (
+            '151.198.194.17 - - [13/Feb/1998:10:15:30 +0000] '
+            '"GET /sports/hockey.html HTTP/1.0" 200 5120'
+        )
+        entry = LogEntry.from_clf(line)
+        assert entry.client == parse_ipv4("151.198.194.17")
+        assert entry.url == "/sports/hockey.html"
+        assert entry.status == 200
+        assert entry.size == 5120
+
+    def test_request_without_protocol(self):
+        line = '1.2.3.4 - - [13/Feb/1998:10:15:30 +0000] "GET /x" 200 10'
+        assert LogEntry.from_clf(line).url == "/x"
+
+    def test_bare_url_request(self):
+        line = '1.2.3.4 - - [13/Feb/1998:10:15:30 +0000] "/x" 200 10'
+        entry = LogEntry.from_clf(line)
+        assert entry.method == "GET" and entry.url == "/x"
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "garbage",
+            '1.2.3.4 - - [bad time] "GET /x HTTP/1.0" 200 10',
+            '1.2.3.4 - - [13/Feb/1998:10:15:30 +0000] "" 200 10',
+            'not.an.ip - - [13/Feb/1998:10:15:30 +0000] "GET /x" 200 10',
+        ],
+    )
+    def test_rejects_malformed(self, line):
+        with pytest.raises((LogFormatError, ValueError)):
+            LogEntry.from_clf(line)

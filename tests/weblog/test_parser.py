@@ -1,0 +1,119 @@
+"""Unit tests for log parsing and the WebLog container."""
+
+from repro.net.ipv4 import parse_ipv4
+from repro.weblog.entry import LogEntry
+from repro.weblog.parser import ParseReport, WebLog, parse_clf_lines
+
+
+def entry(client: str, t: float, url: str = "/a") -> LogEntry:
+    return LogEntry(client=parse_ipv4(client), timestamp=t, url=url, size=100)
+
+
+class TestParseClfLines:
+    def test_counts_in_report(self):
+        lines = [
+            '1.2.3.4 - - [13/Feb/1998:00:00:00 +0000] "GET /a HTTP/1.0" 200 10',
+            "malformed line",
+            "",
+            '0.0.0.0 - - [13/Feb/1998:00:00:01 +0000] "GET /b HTTP/1.0" 200 10',
+            '1.2.3.5 - - [13/Feb/1998:00:00:02 +0000] "GET /c HTTP/1.0" 200 10',
+        ]
+        report = ParseReport()
+        log = parse_clf_lines("t", lines, report)
+        assert len(log) == 2
+        assert report.parsed == 2
+        assert report.malformed == 1
+        assert report.null_client == 1  # 0.0.0.0 excluded per footnote 6
+        assert report.total_lines == 5
+
+    def test_null_client_never_appears(self):
+        lines = [
+            '0.0.0.0 - - [13/Feb/1998:00:00:00 +0000] "GET /a HTTP/1.0" 200 10',
+        ]
+        log = parse_clf_lines("t", lines)
+        assert len(log) == 0
+
+
+class TestWebLogIndexes:
+    def _log(self):
+        return WebLog(
+            "t",
+            [
+                entry("1.2.3.4", 100.0, "/a"),
+                entry("1.2.3.5", 50.0, "/b"),
+                entry("1.2.3.4", 200.0, "/a"),
+                entry("1.2.3.6", 150.0, "/c"),
+            ],
+        )
+
+    def test_clients_sorted_unique(self):
+        log = self._log()
+        assert log.clients() == sorted(
+            {parse_ipv4("1.2.3.4"), parse_ipv4("1.2.3.5"), parse_ipv4("1.2.3.6")}
+        )
+        assert log.num_clients() == 3
+
+    def test_requests_of(self):
+        log = self._log()
+        requests = log.requests_of(parse_ipv4("1.2.3.4"))
+        assert len(requests) == 2
+        assert log.request_count_of(parse_ipv4("1.2.3.4")) == 2
+        assert log.request_count_of(parse_ipv4("9.9.9.9")) == 0
+
+    def test_unique_urls_and_duration(self):
+        log = self._log()
+        assert log.unique_urls() == 3
+        assert log.duration_seconds() == 150.0
+        assert log.time_span() == (50.0, 200.0)
+
+    def test_sort_by_time(self):
+        log = self._log()
+        log.sort_by_time()
+        times = [e.timestamp for e in log.entries]
+        assert times == sorted(times)
+
+    def test_append_invalidates_index(self):
+        log = self._log()
+        assert log.num_clients() == 3
+        log.append(entry("9.9.9.9", 300.0))
+        assert log.num_clients() == 4
+
+    def test_empty_log(self):
+        log = WebLog("empty")
+        assert log.time_span() == (0.0, 0.0)
+        assert log.duration_seconds() == 0.0
+        assert log.partition_sessions(60.0) == []
+
+
+class TestTransforms:
+    def test_partition_sessions(self):
+        log = WebLog("t", [entry("1.2.3.4", float(t)) for t in range(0, 100, 10)])
+        sessions = log.partition_sessions(30.0)
+        assert len(sessions) == 4
+        assert sum(len(s) for s in sessions) == len(log)
+        # Entries fall in their window.
+        for index, session in enumerate(sessions):
+            for e in session.entries:
+                assert index * 30.0 <= e.timestamp - 0.0 < (index + 1) * 30.0
+
+    def test_partition_rejects_nonpositive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            WebLog("t", [entry("1.2.3.4", 0.0)]).partition_sessions(0.0)
+
+    def test_without_clients(self):
+        log = self._three_client_log()
+        filtered = log.without_clients([parse_ipv4("1.2.3.4")])
+        assert parse_ipv4("1.2.3.4") not in filtered.clients()
+        assert len(filtered) == 1
+
+    def _three_client_log(self):
+        return WebLog(
+            "t",
+            [
+                entry("1.2.3.4", 1.0),
+                entry("1.2.3.4", 2.0),
+                entry("1.2.3.5", 3.0),
+            ],
+        )

@@ -1,0 +1,49 @@
+"""Unit tests for the per-paper-log presets."""
+
+import pytest
+
+from repro.weblog.presets import PRESET_NAMES, make_log, make_spec
+
+
+class TestSpecs:
+    def test_all_presets_build(self):
+        for name in PRESET_NAMES:
+            spec = make_spec(name)
+            assert spec.name == name
+            assert spec.total_requests > 0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec("slashdot")
+
+    def test_scale_scales_sizes(self):
+        full = make_spec("nagano", scale=1.0)
+        half = make_spec("nagano", scale=0.5)
+        assert abs(half.num_clients - full.num_clients / 2) <= 1
+        assert abs(half.total_requests - full.total_requests / 2) <= 1
+
+    def test_nagano_is_one_day_transient_event(self):
+        spec = make_spec("nagano")
+        assert spec.duration_hours == 24.0
+        assert spec.spiders == ()  # §4.1.2: no spiders in Nagano
+        assert spec.proxies       # but suspected proxies exist
+
+    def test_sun_has_spider_and_proxy(self):
+        spec = make_spec("sun")
+        assert spec.spiders and spec.proxies
+
+    def test_seeds_differ_across_presets(self):
+        seeds = {make_spec(name).seed for name in PRESET_NAMES}
+        assert len(seeds) == len(PRESET_NAMES)
+
+
+class TestGeneratedPresets:
+    def test_nagano_log_duration(self, topology):
+        synthetic = make_log(topology, "nagano", scale=0.05, seed=3)
+        assert synthetic.log.duration_seconds() <= 24 * 3600.0
+        assert len(synthetic.log) > 0
+
+    def test_stats_scale_with_scale(self, topology):
+        small = make_log(topology, "ew3", scale=0.04, seed=3)
+        larger = make_log(topology, "ew3", scale=0.12, seed=3)
+        assert len(larger.log) > 2 * len(small.log)

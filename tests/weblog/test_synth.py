@@ -1,0 +1,151 @@
+"""Unit/integration tests for the synthetic workload generator."""
+
+import math
+
+from repro.weblog.stats import requests_by_client, summarize
+from repro.weblog.synth import ProxySpec, SpiderSpec, WorkloadSpec, generate_log
+
+
+def small_spec(**overrides) -> WorkloadSpec:
+    fields = dict(
+        name="tiny",
+        seed=77,
+        duration_hours=24.0,
+        num_clients=150,
+        num_urls=120,
+        total_requests=4000,
+    )
+    fields.update(overrides)
+    return WorkloadSpec(**fields)
+
+
+class TestBasicShape:
+    def test_roughly_requested_size(self, topology):
+        synthetic = generate_log(topology, small_spec())
+        stats = summarize(synthetic.log)
+        assert 0.7 * 4000 <= stats.requests <= 1.4 * 4000
+        assert 100 <= stats.clients <= 160
+        assert stats.unique_urls <= 120
+
+    def test_entries_sorted_by_time(self, topology):
+        synthetic = generate_log(topology, small_spec())
+        times = [e.timestamp for e in synthetic.log.entries]
+        assert times == sorted(times)
+
+    def test_timestamps_within_duration(self, topology):
+        spec = small_spec()
+        synthetic = generate_log(topology, spec)
+        for e in synthetic.log.entries:
+            assert spec.start_time <= e.timestamp <= (
+                spec.start_time + spec.duration_seconds
+            )
+
+    def test_deterministic_in_seed(self, topology):
+        a = generate_log(topology, small_spec())
+        b = generate_log(topology, small_spec())
+        assert [e.client for e in a.log.entries] == [
+            e.client for e in b.log.entries
+        ]
+        assert [e.url for e in a.log.entries] == [e.url for e in b.log.entries]
+
+    def test_different_seed_differs(self, topology):
+        a = generate_log(topology, small_spec())
+        b = generate_log(topology, small_spec(seed=78))
+        assert [e.client for e in a.log.entries] != [
+            e.client for e in b.log.entries
+        ]
+
+    def test_every_entry_has_agent_and_size(self, topology):
+        synthetic = generate_log(topology, small_spec())
+        for e in synthetic.log.entries:
+            assert e.user_agent
+            assert e.size > 0
+
+    def test_clients_live_in_topology(self, topology):
+        synthetic = generate_log(topology, small_spec(bogus_client_fraction=0.0))
+        for client in synthetic.log.clients():
+            assert topology.leaf_for_address(client) is not None
+
+
+class TestHeavyTails:
+    def test_request_counts_heavy_tailed(self, topology):
+        # Enough clients that the per-client cap leaves Zipf headroom.
+        synthetic = generate_log(topology, small_spec(num_clients=400))
+        counts = sorted(requests_by_client(synthetic.log).values(), reverse=True)
+        top_decile = sum(counts[: max(1, len(counts) // 10)])
+        assert top_decile / sum(counts) > 0.2
+
+    def test_url_popularity_zipf_like(self, topology):
+        synthetic = generate_log(topology, small_spec())
+        url_counts = {}
+        for e in synthetic.log.entries:
+            url_counts[e.url] = url_counts.get(e.url, 0) + 1
+        ordered = sorted(url_counts.values(), reverse=True)
+        # Most-popular URL should dominate the median URL heavily.
+        assert ordered[0] > 10 * ordered[len(ordered) // 2]
+
+
+class TestBogusClients:
+    def test_bogus_fraction_produces_unallocated_clients(self, topology):
+        synthetic = generate_log(
+            topology, small_spec(num_clients=400, bogus_client_fraction=0.01)
+        )
+        assert synthetic.bogus_clients
+        for bogus in synthetic.bogus_clients:
+            assert topology.leaf_for_address(bogus) is None
+
+    def test_zero_bogus(self, topology):
+        synthetic = generate_log(topology, small_spec(bogus_client_fraction=0.0))
+        assert synthetic.bogus_clients == []
+
+
+class TestSpiders:
+    def test_spider_present_with_expected_signature(self, topology):
+        spec = small_spec(
+            total_requests=6000,
+            spiders=(SpiderSpec(requests=1200, url_coverage=0.6, cohabitants=4),),
+        )
+        synthetic = generate_log(topology, spec)
+        (spider,) = synthetic.spider_clients
+        counts = requests_by_client(synthetic.log)
+        assert counts[spider] >= 1100
+        urls = {e.url for e in synthetic.log.entries if e.client == spider}
+        assert len(urls) >= 0.5 * spec.num_urls
+        agents = {
+            e.user_agent for e in synthetic.log.entries if e.client == spider
+        }
+        assert len(agents) == 1  # one crawler UA
+
+    def test_spider_cluster_has_cohabitants(self, topology):
+        spec = small_spec(
+            spiders=(SpiderSpec(requests=500, cohabitants=5),),
+        )
+        synthetic = generate_log(topology, spec)
+        spider = synthetic.spider_clients[0]
+        leaf = topology.leaf_for_address(spider)
+        others = [
+            c for c in synthetic.log.clients()
+            if c != spider and leaf.prefix.contains_address(c)
+        ]
+        assert len(others) >= 3
+
+
+class TestProxies:
+    def test_proxy_rotates_user_agents(self, topology):
+        spec = small_spec(proxies=(ProxySpec(requests=800, user_agents=6),))
+        synthetic = generate_log(topology, spec)
+        (proxy,) = synthetic.proxy_clients
+        agents = {
+            e.user_agent for e in synthetic.log.entries if e.client == proxy
+        }
+        assert len(agents) >= 3
+
+    def test_proxy_timing_spans_whole_log(self, topology):
+        spec = small_spec(proxies=(ProxySpec(requests=800),))
+        synthetic = generate_log(topology, spec)
+        (proxy,) = synthetic.proxy_clients
+        times = [
+            e.timestamp for e in synthetic.log.entries if e.client == proxy
+        ]
+        span = max(times) - min(times)
+        assert span > 0.5 * spec.duration_seconds
