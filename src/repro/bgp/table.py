@@ -240,6 +240,16 @@ class MergedPrefixTable:
         """Iterate ``(prefix, winning LookupResult)`` in address order."""
         return self._tree.items()
 
+    def export_entries(self) -> List[Tuple[Prefix, LookupResult]]:
+        """All ``(prefix, winning LookupResult)`` pairs, sort_key order.
+
+        Compile hook for :class:`repro.engine.packed.PackedLpm`: the
+        engine packs this list into its immutable lookup arrays, so the
+        merged table remains the build-side structure routing swaps
+        mutate, and workers get a frozen copy.
+        """
+        return self._tree.export_entries()
+
     def prefix_length_histogram(self) -> Dict[int, int]:
         histogram: Dict[int, int] = {}
         for prefix in self._tree.prefixes():

@@ -25,14 +25,20 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
-from repro.bgp.table import MergedPrefixTable
 from repro.core.clustering import Cluster, ClusterSet
 from repro.net.prefix import Prefix
 from repro.weblog.entry import LogEntry
 
 __all__ = ["RealTimeClusterer", "WindowStats"]
+
+#: The clusterer only needs ``lookup(address) -> LookupResult | None``,
+#: so any conforming table works: a live
+#: :class:`~repro.bgp.table.MergedPrefixTable`, or an immutable
+#: :class:`~repro.engine.packed.PackedLpm` compiled from one
+#: (``PackedLpm.from_merged``) when lookup throughput matters.
+LookupTable = Any
 
 
 @dataclass
@@ -93,7 +99,7 @@ class RealTimeClusterer:
 
     def __init__(
         self,
-        table: MergedPrefixTable,
+        table: LookupTable,
         window_seconds: float = 300.0,
         name: str = "realtime",
     ) -> None:
@@ -173,12 +179,15 @@ class RealTimeClusterer:
 
     # -- adaptation -----------------------------------------------------------
 
-    def update_table(self, table: MergedPrefixTable) -> None:
+    def update_table(self, table: LookupTable) -> None:
         """Swap in fresh routing information (§3.5's adaptation).
 
         The assignment cache is dropped, so every client re-resolves
         against the new table at its next request; window contents keep
-        their original assignment until they age out.
+        their original assignment until they age out.  Accepts the same
+        duck-typed tables as the constructor — the engine's
+        :class:`~repro.engine.shard.ShardedClusterEngine.update_table`
+        hot-swap follows these semantics.
         """
         self._table = table
         self._assignment_cache.clear()

@@ -1,0 +1,48 @@
+"""High-throughput streaming clustering engine.
+
+The paper's §3 pipeline — one longest-prefix match per client against a
+pointer-chasing radix trie — is the right shape for correctness but the
+wrong shape for throughput.  This package is the scale-out substrate:
+
+* :mod:`repro.engine.packed` — :class:`PackedLpm`, an immutable,
+  array-packed longest-prefix-match table compiled once from a
+  :class:`~repro.bgp.table.MergedPrefixTable` (or any radix tree) and
+  shipped to workers as a single pickle; batch lookups run one binary
+  search per address instead of one trie walk.
+* :mod:`repro.engine.state` — :class:`ClusterStore`, the incremental,
+  mergeable cluster accumulator with versioned checkpoint/restore.
+* :mod:`repro.engine.shard` — :class:`ShardedClusterEngine`, which
+  hash-partitions client addresses across N shards, fans batches out to
+  a ``multiprocessing`` pool, and merges per-shard states in shard
+  order so results are deterministic.
+* :mod:`repro.engine.metrics` — :class:`EngineMetrics` counters/timers
+  (entries/sec, lookups, batch latency, shard skew).
+* :mod:`repro.engine.cli` — the ``repro-engine`` command line.
+
+Everything downstream still receives a plain
+:class:`~repro.core.clustering.ClusterSet`, so validation,
+thresholding, placement, and the caching simulation run on engine
+output unchanged.
+"""
+
+from repro.engine.metrics import EngineMetrics
+from repro.engine.packed import PackedLpm
+from repro.engine.shard import EngineConfig, ShardedClusterEngine, shard_of
+from repro.engine.state import (
+    CheckpointError,
+    ClusterStore,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+__all__ = [
+    "PackedLpm",
+    "ClusterStore",
+    "CheckpointError",
+    "read_checkpoint",
+    "write_checkpoint",
+    "ShardedClusterEngine",
+    "EngineConfig",
+    "shard_of",
+    "EngineMetrics",
+]

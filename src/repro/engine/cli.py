@@ -1,0 +1,183 @@
+"""``repro-engine``: the streaming engine as a shell command.
+
+The full engine surface over real CLF logs and real dump files::
+
+    repro-engine access.log --table routes-a.txt --table routes-b.txt \
+        --shards 4 --chunk-size 16384 --checkpoint run.ckpt
+
+Ingestion streams the log in constant memory, fanning batches out to
+shard workers.  ``--checkpoint`` writes the versioned engine state at
+the end of the run (and every ``--checkpoint-every`` entries along the
+way); ``--resume`` restores from that file first, so an interrupted run
+continues where it stopped and finishes with the same cluster table an
+uninterrupted run produces.  ``--metrics`` prints the engine's
+counters (entries/sec, batch latency, shard skew).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.cli import load_tables, print_cluster_report
+from repro.engine.metrics import EngineMetrics
+from repro.engine.packed import PackedLpm
+from repro.engine.shard import EngineConfig, ShardedClusterEngine
+from repro.engine.state import CheckpointError
+from repro.weblog.parser import ParseLimitError, ParseReport, iter_clf_entries
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-engine",
+        description=(
+            "High-throughput streaming client clustering: sharded batch "
+            "ingestion of a CLF access log against a packed LPM table "
+            "compiled from BGP routing-table dumps."
+        ),
+    )
+    parser.add_argument("log", help="server access log (NCSA common/combined)")
+    parser.add_argument(
+        "--table", "-t", action="append", default=[], metavar="DUMP",
+        help="routing-table dump file; repeatable; any §3.1.2 format",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="hash-partitioned shards / worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=8192, metavar="N",
+        help="entries per dispatched batch (default 8192)",
+    )
+    parser.add_argument(
+        "--max-errors", type=int, default=None, metavar="N",
+        help="abort when more than N malformed lines accumulate "
+             "(default: skip-and-count forever)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="write engine state to PATH when the run completes",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="ENTRIES",
+        help="also checkpoint after every ENTRIES ingested (0 = only at "
+             "the end)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="restore state from --checkpoint before ingesting "
+             "(requires the same routing table)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print engine counters (entries/sec, latency, shard skew)",
+    )
+    parser.add_argument(
+        "--busy", type=float, default=None, metavar="SHARE",
+        help="threshold busy clusters covering SHARE of requests",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20,
+        help="how many clusters to print (default 20, 0 = all)",
+    )
+    return parser
+
+
+def _build_engine(
+    args: argparse.Namespace, packed: PackedLpm
+) -> ShardedClusterEngine:
+    config = EngineConfig(
+        num_shards=args.shards,
+        chunk_size=args.chunk_size,
+        name=args.log,
+    )
+    metrics = EngineMetrics(args.shards)
+    if args.resume:
+        if not args.checkpoint:
+            raise CheckpointError("--resume requires --checkpoint PATH")
+        if os.path.exists(args.checkpoint):
+            engine = ShardedClusterEngine.resume(
+                args.checkpoint, packed, config, metrics
+            )
+            print(
+                f"resumed from {args.checkpoint} "
+                f"({engine.entries_ingested:,} entries already ingested)"
+            )
+            return engine
+        print(f"no checkpoint at {args.checkpoint}; starting fresh")
+    return ShardedClusterEngine(packed, config, metrics)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not args.table:
+        parser.error("the engine needs at least one --table dump")
+    if args.checkpoint_every and not args.checkpoint:
+        parser.error("--checkpoint-every requires --checkpoint PATH")
+
+    merged = load_tables(args.table)
+    print(f"merged prefix table: {len(merged):,} entries "
+          f"from {len(args.table)} dump(s)")
+    packed = PackedLpm.from_merged(merged)
+    print(f"packed LPM table: {len(packed):,} entries, "
+          f"{packed.num_intervals:,} intervals")
+
+    try:
+        engine = _build_engine(args, packed)
+    except CheckpointError as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 1
+
+    report = ParseReport()
+    since_checkpoint = 0
+    with engine:
+        with open(args.log) as handle:
+            entries = iter_clf_entries(handle, report, max_errors=args.max_errors)
+            try:
+                while True:
+                    batch = []
+                    for entry in entries:
+                        batch.append(entry)
+                        if len(batch) >= args.chunk_size:
+                            break
+                    if not batch:
+                        break
+                    since_checkpoint += engine.ingest(batch)
+                    if (
+                        args.checkpoint_every
+                        and since_checkpoint >= args.checkpoint_every
+                    ):
+                        engine.checkpoint(args.checkpoint)
+                        since_checkpoint = 0
+            except ParseLimitError as exc:
+                print(f"aborting: {exc}", file=sys.stderr)
+                return 1
+        engine.metrics.record_malformed(report.malformed)
+        print(
+            f"parsed {report.parsed:,} requests "
+            f"({report.malformed:,} malformed, "
+            f"{report.null_client:,} null-client lines dropped)"
+        )
+        if engine.entries_ingested == 0:
+            print("no usable entries; nothing to cluster", file=sys.stderr)
+            return 1
+        if args.checkpoint:
+            engine.checkpoint(args.checkpoint)
+            print(f"checkpoint written: {args.checkpoint}")
+
+        clusters = engine.snapshot()
+        print()
+        print_cluster_report(clusters, args.top, args.busy)
+        if args.metrics:
+            print()
+            print(engine.metrics.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

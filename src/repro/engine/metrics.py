@@ -1,0 +1,119 @@
+"""Lightweight engine telemetry: counters, timers, shard skew.
+
+The engine feeds these from its ingestion loop; nothing here touches a
+clock itself, so the numbers are deterministic in tests (feed synthetic
+durations) and nearly free in production (integer adds per batch).
+:meth:`EngineMetrics.snapshot` exposes a plain dict;
+:meth:`EngineMetrics.render` prints it via :func:`repro.util.tables`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.util.tables import format_count, render_table
+
+__all__ = ["EngineMetrics"]
+
+
+class EngineMetrics:
+    """Counters and timers for one engine run."""
+
+    def __init__(self, num_shards: int = 1) -> None:
+        self.num_shards = max(1, num_shards)
+        self.entries = 0
+        self.lookups = 0
+        self.batches = 0
+        self.malformed_skipped = 0
+        self.checkpoints_written = 0
+        self.table_swaps = 0
+        self.total_seconds = 0.0
+        self.max_batch_seconds = 0.0
+        self.shard_entries: List[int] = [0] * self.num_shards
+
+    # -- recording -------------------------------------------------------
+
+    def record_batch(
+        self, per_shard_counts: Sequence[int], seconds: float, lookups: int
+    ) -> None:
+        """Record one dispatched batch: per-shard entry counts, wall
+        time, and LPM lookups performed."""
+        self.batches += 1
+        self.entries += sum(per_shard_counts)
+        self.lookups += lookups
+        self.total_seconds += seconds
+        if seconds > self.max_batch_seconds:
+            self.max_batch_seconds = seconds
+        for shard, count in enumerate(per_shard_counts):
+            self.shard_entries[shard] += count
+
+    def record_malformed(self, count: int = 1) -> None:
+        self.malformed_skipped += count
+
+    def record_checkpoint(self) -> None:
+        self.checkpoints_written += 1
+
+    def record_table_swap(self) -> None:
+        self.table_swaps += 1
+
+    # -- derived figures -------------------------------------------------
+
+    @property
+    def entries_per_second(self) -> float:
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.entries / self.total_seconds
+
+    @property
+    def mean_batch_seconds(self) -> float:
+        if self.batches == 0:
+            return 0.0
+        return self.total_seconds / self.batches
+
+    @property
+    def shard_skew(self) -> float:
+        """Max-over-mean shard load: 1.0 is perfect balance, 2.0 means
+        the hottest shard saw twice the average."""
+        if self.entries == 0:
+            return 1.0
+        mean = self.entries / self.num_shards
+        return max(self.shard_entries) / mean if mean else 1.0
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current readings as a flat dict (stable keys, plain types)."""
+        return {
+            "entries": self.entries,
+            "lookups": self.lookups,
+            "batches": self.batches,
+            "malformed_skipped": self.malformed_skipped,
+            "checkpoints_written": self.checkpoints_written,
+            "table_swaps": self.table_swaps,
+            "num_shards": self.num_shards,
+            "total_seconds": self.total_seconds,
+            "mean_batch_seconds": self.mean_batch_seconds,
+            "max_batch_seconds": self.max_batch_seconds,
+            "entries_per_second": self.entries_per_second,
+            "shard_skew": self.shard_skew,
+        }
+
+    def render(self) -> str:
+        """ASCII table of the snapshot, one metric per row."""
+        snap = self.snapshot()
+        rows = []
+        for key in (
+            "entries",
+            "lookups",
+            "batches",
+            "malformed_skipped",
+            "checkpoints_written",
+            "table_swaps",
+            "num_shards",
+        ):
+            rows.append([key, format_count(int(snap[key]))])
+        rows.append(["entries_per_second", f"{snap['entries_per_second']:,.0f}"])
+        rows.append(["mean_batch_seconds", f"{snap['mean_batch_seconds']:.6f}"])
+        rows.append(["max_batch_seconds", f"{snap['max_batch_seconds']:.6f}"])
+        rows.append(["shard_skew", f"{snap['shard_skew']:.3f}"])
+        return render_table(["metric", "value"], rows, title="engine metrics")

@@ -1,0 +1,188 @@
+"""Immutable, array-packed longest-prefix-match table.
+
+The radix trie (:class:`repro.net.radix.RadixTree`) is the right
+structure for a table that changes; the clustering engine's table does
+not change between routing-snapshot swaps, so it can be *compiled*: the
+prefix set is flattened into the disjoint address intervals it induces
+(nested prefixes project onto their most-specific covering entry), and
+a lookup becomes one binary search over a flat integer array instead of
+a pointer-chasing trie walk.
+
+Layout — three parallel, flat sequences:
+
+* ``_starts`` — ``array('Q')`` of interval start addresses, ascending;
+  interval *i* covers ``[_starts[i], _starts[i+1])``.
+* ``_owners`` — ``array('q')`` mapping interval *i* to the index of its
+  most-specific covering entry, or ``-1`` for uncovered gaps.
+* ``_prefixes`` / ``_values`` — tuples holding each entry's
+  :class:`~repro.net.prefix.Prefix` and attached value.
+
+The whole table is a handful of picklable flat objects, so it ships to
+worker processes once and is shared read-only from then on.  Batch
+lookups (:meth:`lookup_many`) do one ``bisect`` call — C code — per
+address, which is what lets the engine outrun the per-entry trie loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from array import array
+from bisect import bisect_right
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.ipv4 import MAX_ADDRESS
+from repro.net.prefix import Prefix
+
+__all__ = ["PackedLpm"]
+
+
+class PackedLpm:
+    """Read-only LPM table over disjoint address intervals.
+
+    Build with :meth:`from_items`, :meth:`from_radix`, or
+    :meth:`from_merged`; the constructor itself takes an already
+    deduplicated, ``sort_key``-ordered entry list.
+    """
+
+    __slots__ = ("_starts", "_owners", "_prefixes", "_values")
+
+    def __init__(self, entries: Sequence[Tuple[Prefix, Any]]) -> None:
+        self._prefixes: Tuple[Prefix, ...] = tuple(p for p, _ in entries)
+        self._values: Tuple[Any, ...] = tuple(v for _, v in entries)
+        starts = array("Q", [0])
+        owners = array("q", [-1])
+
+        def push(addr: int, owner: int) -> None:
+            if starts[-1] == addr:
+                owners[-1] = owner
+                if len(owners) >= 2 and owners[-2] == owner:
+                    starts.pop()
+                    owners.pop()
+            elif owners[-1] != owner:
+                starts.append(addr)
+                owners.append(owner)
+
+        prefixes = self._prefixes
+        stack: List[int] = []
+        for index, prefix in enumerate(prefixes):
+            while stack and prefixes[stack[-1]].last_address < prefix.network:
+                ended = stack.pop()
+                push(prefixes[ended].last_address + 1, stack[-1] if stack else -1)
+            push(prefix.network, index)
+            stack.append(index)
+        while stack:
+            ended = stack.pop()
+            boundary = prefixes[ended].last_address + 1
+            if boundary <= MAX_ADDRESS:
+                push(boundary, stack[-1] if stack else -1)
+        self._starts = starts
+        self._owners = owners
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_items(cls, items: Iterable[Tuple[Prefix, Any]]) -> "PackedLpm":
+        """Compile from ``(prefix, value)`` pairs (later duplicates win,
+        matching :meth:`RadixTree.insert` overwrite semantics)."""
+        unique = dict(items)
+        ordered = sorted(unique.items(), key=lambda kv: kv[0].sort_key())
+        return cls(ordered)
+
+    @classmethod
+    def from_radix(cls, tree) -> "PackedLpm":
+        """Compile from a :class:`~repro.net.radix.RadixTree`."""
+        return cls(tree.export_entries())
+
+    @classmethod
+    def from_merged(cls, table) -> "PackedLpm":
+        """Compile from a :class:`~repro.bgp.table.MergedPrefixTable`.
+
+        Values are the table's :class:`~repro.bgp.table.LookupResult`
+        objects, so :meth:`lookup` is a drop-in for
+        ``MergedPrefixTable.lookup`` (same return type, same None-on-miss
+        contract) — including as the table of a
+        :class:`~repro.core.realtime.RealTimeClusterer`.
+        """
+        return cls(table.export_entries())
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._prefixes)
+
+    def __bool__(self) -> bool:
+        return bool(self._prefixes)
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of disjoint address intervals in the packed layout."""
+        return len(self._starts)
+
+    def items(self) -> Iterable[Tuple[Prefix, Any]]:
+        """Iterate ``(prefix, value)`` entries in address order."""
+        return zip(self._prefixes, self._values)
+
+    def prefix(self, index: int) -> Prefix:
+        """The prefix of entry ``index`` (as returned by lookups)."""
+        return self._prefixes[index]
+
+    def value(self, index: int) -> Any:
+        """The value of entry ``index`` (as returned by lookups)."""
+        return self._values[index]
+
+    def digest(self) -> str:
+        """Stable fingerprint of the prefix set (checkpoint safety check).
+
+        Two tables compiled from the same prefixes — whatever the source
+        structure — share a digest; values are excluded on purpose so a
+        re-merged table with identical routes still matches.
+        """
+        hasher = hashlib.sha256()
+        for prefix in self._prefixes:
+            hasher.update(prefix.network.to_bytes(4, "big"))
+            hasher.update(bytes((prefix.length,)))
+        return hasher.hexdigest()
+
+    # -- lookups ---------------------------------------------------------
+
+    def match_index(self, address: int) -> int:
+        """Entry index of the longest matching prefix, or -1 on miss."""
+        return self._owners[bisect_right(self._starts, address) - 1]
+
+    def longest_match(self, address: int) -> Optional[Tuple[Prefix, Any]]:
+        """Router-style lookup with the :class:`RadixTree` contract."""
+        owner = self._owners[bisect_right(self._starts, address) - 1]
+        if owner < 0:
+            return None
+        return self._prefixes[owner], self._values[owner]
+
+    def lookup(self, address: int) -> Any:
+        """Return the matched entry's value, or None on miss.
+
+        Mirrors ``MergedPrefixTable.lookup`` when compiled via
+        :meth:`from_merged`.
+        """
+        owner = self._owners[bisect_right(self._starts, address) - 1]
+        if owner < 0:
+            return None
+        return self._values[owner]
+
+    def lookup_many(self, addresses: Iterable[int]) -> List[int]:
+        """Batch lookup: entry index per address (-1 on miss).
+
+        The hot path of the engine: everything inside the comprehension
+        is a C-level call, so per-address cost is one binary search with
+        no Python-object churn.
+        """
+        starts = self._starts
+        owners = self._owners
+        search = bisect_right
+        return [owners[search(starts, address) - 1] for address in addresses]
+
+    # -- pickling --------------------------------------------------------
+
+    def __getstate__(self):
+        return (self._starts, self._owners, self._prefixes, self._values)
+
+    def __setstate__(self, state) -> None:
+        self._starts, self._owners, self._prefixes, self._values = state

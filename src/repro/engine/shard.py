@@ -1,0 +1,277 @@
+"""Sharded, batched ingestion: the engine's parallel front end.
+
+Client addresses are hash-partitioned across N shards with a fixed
+multiplicative hash (stable across processes and Python versions — no
+``hash()``/``PYTHONHASHSEED`` dependence), so the same client always
+lands on the same shard.  Ingestion is chunked: each chunk is split
+into per-shard batches, the batches fan out to a ``multiprocessing``
+pool whose workers hold the :class:`~repro.engine.packed.PackedLpm`
+table (shipped once at pool start), and the returned partial
+:class:`~repro.engine.state.ClusterStore` states merge back in shard
+order — so results are bit-for-bit deterministic regardless of worker
+scheduling, and identical to the single-pass
+:func:`repro.core.clustering.cluster_log` on the same input.
+
+With ``num_shards=1`` (or ``use_processes=False``) everything runs
+inline in the calling process — same code path, no pool — which is the
+mode tests use for speed and the CLI uses by default.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.clustering import ClusterSet
+from repro.engine.metrics import EngineMetrics
+from repro.engine.packed import PackedLpm
+from repro.engine.state import ClusterStore, read_checkpoint, write_checkpoint
+
+__all__ = ["shard_of", "EngineConfig", "ShardedClusterEngine"]
+
+#: Knuth's multiplicative constant; scrambles allocation-correlated
+#: address bits so CIDR-dense logs still spread evenly across shards.
+_HASH_MULTIPLIER = 0x9E3779B1
+_HASH_MASK = 0xFFFFFFFF
+
+#: One request on the wire: (client address, url, response bytes).
+Triple = Tuple[int, str, int]
+
+
+def shard_of(address: int, num_shards: int) -> int:
+    """Deterministic shard assignment for a client address."""
+    return ((address * _HASH_MULTIPLIER) & _HASH_MASK) % num_shards
+
+
+@dataclass
+class EngineConfig:
+    """Tunables for one engine run."""
+
+    num_shards: int = 1
+    chunk_size: int = 8192
+    use_processes: bool = True
+    name: str = "engine"
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1: {self.num_shards!r}")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1: {self.chunk_size!r}")
+
+
+# -- worker side ----------------------------------------------------------
+
+_WORKER_TABLE: Optional[PackedLpm] = None
+
+
+def _init_worker(table: PackedLpm) -> None:
+    global _WORKER_TABLE
+    _WORKER_TABLE = table
+
+
+def _process_batch(triples: Sequence[Triple]) -> ClusterStore:
+    assert _WORKER_TABLE is not None, "worker pool not initialised"
+    store = ClusterStore()
+    store.apply_batch(triples, _WORKER_TABLE)
+    return store
+
+
+# -- driver side ----------------------------------------------------------
+
+
+class ShardedClusterEngine:
+    """Streaming clustering over a packed table with sharded workers.
+
+    Usage::
+
+        packed = PackedLpm.from_merged(merged_table)
+        with ShardedClusterEngine(packed, EngineConfig(num_shards=4)) as eng:
+            eng.ingest(entries)           # any iterable of LogEntry
+            clusters = eng.snapshot()     # a plain ClusterSet
+
+    The engine may be fed any number of times; ``snapshot`` and
+    ``checkpoint`` can be taken between feeds.
+    """
+
+    def __init__(
+        self,
+        table: PackedLpm,
+        config: Optional[EngineConfig] = None,
+        metrics: Optional[EngineMetrics] = None,
+    ) -> None:
+        self.table = table
+        self.config = config or EngineConfig()
+        self.metrics = metrics or EngineMetrics(self.config.num_shards)
+        self._stores: List[ClusterStore] = [
+            ClusterStore() for _ in range(self.config.num_shards)
+        ]
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "ShardedClusterEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    @property
+    def _parallel(self) -> bool:
+        return self.config.num_shards > 1 and self.config.use_processes
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(
+                processes=self.config.num_shards,
+                initializer=_init_worker,
+                initargs=(self.table,),
+            )
+        return self._pool
+
+    # -- ingestion -------------------------------------------------------
+
+    def ingest(self, entries: Iterable[Any]) -> int:
+        """Consume log entries (anything with client/url/size attributes).
+
+        Entries are chunked to ``config.chunk_size``, each chunk is
+        partitioned by client shard and dispatched; returns the number
+        of entries ingested in this call.
+        """
+        total = 0
+        for chunk in _chunks(entries, self.config.chunk_size):
+            total += self._ingest_chunk(chunk)
+        return total
+
+    def ingest_triples(self, triples: Iterable[Triple]) -> int:
+        """Like :meth:`ingest` for pre-projected request triples."""
+        total = 0
+        for chunk in _chunks(triples, self.config.chunk_size):
+            total += self._dispatch(chunk)
+        return total
+
+    def _ingest_chunk(self, chunk: Sequence[Any]) -> int:
+        return self._dispatch(
+            [(entry.client, entry.url, entry.size) for entry in chunk]
+        )
+
+    def _dispatch(self, triples: Sequence[Triple]) -> int:
+        num_shards = self.config.num_shards
+        began = time.perf_counter()
+        if num_shards == 1:
+            self._stores[0].apply_batch(triples, self.table)
+            counts = [len(triples)]
+        else:
+            batches: List[List[Triple]] = [[] for _ in range(num_shards)]
+            for triple in triples:
+                batches[shard_of(triple[0], num_shards)].append(triple)
+            counts = [len(batch) for batch in batches]
+            if self._parallel:
+                partials = self._ensure_pool().map(_process_batch, batches)
+                for shard, partial in enumerate(partials):
+                    self._stores[shard].merge(partial)
+            else:
+                for shard, batch in enumerate(batches):
+                    self._stores[shard].apply_batch(batch, self.table)
+        elapsed = time.perf_counter() - began
+        self.metrics.record_batch(counts, elapsed, lookups=len(triples))
+        return len(triples)
+
+    # -- adaptation ------------------------------------------------------
+
+    def update_table(self, table: PackedLpm) -> None:
+        """Hot-swap the routing table (``core.realtime.update_table``
+        semantics): accumulated assignments persist; every later batch
+        resolves against the new table.  The worker pool restarts so
+        workers pick up the new table."""
+        self.close()
+        self.table = table
+        self.metrics.record_table_swap()
+
+    # -- observation -----------------------------------------------------
+
+    def snapshot(self, name: Optional[str] = None) -> ClusterSet:
+        """Merge all shards into one :class:`ClusterSet` (non-destructive)."""
+        combined = ClusterStore()
+        for store in self._stores:
+            combined.merge(store.copy())
+        return combined.snapshot(
+            name=name if name is not None else self.config.name,
+            method="network-aware",
+        )
+
+    @property
+    def entries_ingested(self) -> int:
+        return sum(store.entries_applied for store in self._stores)
+
+    # -- persistence -----------------------------------------------------
+
+    def checkpoint(self, path: str) -> None:
+        """Write all shard states plus run metadata to ``path``."""
+        write_checkpoint(
+            path,
+            self._stores,
+            table_digest=self.table.digest(),
+            meta={
+                "num_shards": self.config.num_shards,
+                "chunk_size": self.config.chunk_size,
+                "name": self.config.name,
+                "entries_ingested": self.entries_ingested,
+            },
+        )
+        self.metrics.record_checkpoint()
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        table: PackedLpm,
+        config: Optional[EngineConfig] = None,
+        metrics: Optional[EngineMetrics] = None,
+        verify_table: bool = True,
+    ) -> "ShardedClusterEngine":
+        """Rebuild an engine from a checkpoint and keep ingesting.
+
+        With ``verify_table`` the checkpoint must have been taken
+        against a table with the same prefix set (digest match).  A
+        different shard count than the checkpoint's is allowed — shard
+        states merge into the new layout without changing results,
+        since all statistics are order- and placement-independent.
+        """
+        digest = table.digest() if verify_table else ""
+        stores, meta = read_checkpoint(path, table_digest=digest)
+        if config is None:
+            config = EngineConfig(
+                num_shards=int(meta.get("num_shards", len(stores)) or 1),
+                chunk_size=int(meta.get("chunk_size", 8192) or 8192),
+                name=str(meta.get("name", "engine")),
+            )
+        engine = cls(table, config, metrics)
+        if len(stores) == config.num_shards:
+            engine._stores = stores
+        else:
+            for shard, store in enumerate(stores):
+                engine._stores[shard % config.num_shards].merge(store)
+        return engine
+
+
+def _chunks(items: Iterable[Any], size: int) -> Iterator[List[Any]]:
+    """Yield lists of up to ``size`` items from any iterable."""
+    chunk: List[Any] = []
+    append = chunk.append
+    for item in items:
+        append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+            append = chunk.append
+    if chunk:
+        yield chunk

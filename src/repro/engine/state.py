@@ -1,0 +1,293 @@
+"""Incremental cluster state: accumulate, merge, checkpoint, restore.
+
+:class:`ClusterStore` is the engine's unit of mutable state.  Each
+shard owns one; batches of requests are folded in with
+:meth:`apply_batch`, partial stores from worker processes merge with
+:meth:`merge`, and :meth:`snapshot` materialises a plain
+:class:`~repro.core.clustering.ClusterSet` so the entire downstream
+toolchain (thresholding, validation, placement, caching) runs on
+engine output unchanged.
+
+Routing-table hot-swap follows ``core.realtime.update_table``
+semantics: the store itself holds no reference to any table — every
+:meth:`apply_batch` call names the table it resolves against — so
+swapping tables mid-run simply means later batches resolve against the
+new one while already-accumulated assignments persist.
+
+Checkpoints are a versioned on-disk format (:func:`write_checkpoint` /
+:func:`read_checkpoint`) so long runs survive interruption: restore in
+a fresh process and continue feeding batches; the final snapshot is
+identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.clustering import Cluster, ClusterSet
+from repro.engine.packed import PackedLpm
+from repro.net.prefix import Prefix
+
+__all__ = [
+    "ClusterStore",
+    "CheckpointError",
+    "write_checkpoint",
+    "read_checkpoint",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+]
+
+#: File-format identity and version; bump the version whenever the
+#: pickled payload layout changes so stale checkpoints fail loudly.
+CHECKPOINT_MAGIC = "repro.engine.checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, foreign, or from another version."""
+
+
+@dataclass
+class _ClusterState:
+    """Mutable accumulator for one cluster (one matched prefix)."""
+
+    requests: int = 0
+    total_bytes: int = 0
+    client_counts: Dict[int, int] = field(default_factory=dict)
+    urls: Set[str] = field(default_factory=set)
+    source_kind: str = ""
+    source_name: str = ""
+
+    def merge(self, other: "_ClusterState") -> None:
+        self.requests += other.requests
+        self.total_bytes += other.total_bytes
+        counts = self.client_counts
+        for client, count in other.client_counts.items():
+            counts[client] = counts.get(client, 0) + count
+        self.urls |= other.urls
+        if not self.source_kind:
+            self.source_kind = other.source_kind
+            self.source_name = other.source_name
+
+
+class ClusterStore:
+    """Mergeable cluster statistics keyed by matched prefix.
+
+    The store accepts *request triples* ``(client, url, size)`` — the
+    projection of a :class:`~repro.weblog.entry.LogEntry` the cluster
+    metrics need — so worker batches stay small on the wire.
+    """
+
+    def __init__(self) -> None:
+        self._clusters: Dict[Prefix, _ClusterState] = {}
+        self._unclustered: Dict[int, int] = {}
+        self.entries_applied = 0
+        self.lookups_performed = 0
+
+    def __len__(self) -> int:
+        return len(self._clusters)
+
+    @property
+    def num_unclustered(self) -> int:
+        return len(self._unclustered)
+
+    # -- accumulation ----------------------------------------------------
+
+    def apply_batch(
+        self, triples: Sequence[Tuple[int, str, int]], table: PackedLpm
+    ) -> int:
+        """Fold one batch of ``(client, url, size)`` into the store.
+
+        One batched LPM pass resolves every client, then a single
+        Python loop updates the per-cluster accumulators.  Returns the
+        number of entries applied.
+        """
+        indices = table.lookup_many([triple[0] for triple in triples])
+        self.lookups_performed += len(triples)
+        clusters = self._clusters
+        unclustered = self._unclustered
+        for (client, url, size), index in zip(triples, indices):
+            if index < 0:
+                unclustered[client] = unclustered.get(client, 0) + 1
+                continue
+            prefix = table.prefix(index)
+            state = clusters.get(prefix)
+            if state is None:
+                value = table.value(index)
+                state = clusters[prefix] = _ClusterState(
+                    source_kind=getattr(value, "source_kind", ""),
+                    source_name=getattr(value, "source_name", ""),
+                )
+            state.requests += 1
+            state.total_bytes += size
+            state.client_counts[client] = state.client_counts.get(client, 0) + 1
+            state.urls.add(url)
+        self.entries_applied += len(triples)
+        return len(triples)
+
+    def apply_entries(self, entries: Iterable[Any], table: PackedLpm) -> int:
+        """Convenience wrapper taking :class:`LogEntry`-shaped objects."""
+        return self.apply_batch(
+            [(entry.client, entry.url, entry.size) for entry in entries], table
+        )
+
+    def copy(self) -> "ClusterStore":
+        """Independent copy (merge adopts accumulators by reference, so
+        copy before merging long-lived stores together)."""
+        clone = ClusterStore()
+        clone._clusters = {
+            prefix: _ClusterState(
+                requests=state.requests,
+                total_bytes=state.total_bytes,
+                client_counts=dict(state.client_counts),
+                urls=set(state.urls),
+                source_kind=state.source_kind,
+                source_name=state.source_name,
+            )
+            for prefix, state in self._clusters.items()
+        }
+        clone._unclustered = dict(self._unclustered)
+        clone.entries_applied = self.entries_applied
+        clone.lookups_performed = self.lookups_performed
+        return clone
+
+    def merge(self, other: "ClusterStore") -> "ClusterStore":
+        """Fold ``other`` into this store (commutative up to snapshot).
+
+        Accumulators absent from ``self`` are adopted by reference —
+        cheap for transient worker partials; :meth:`copy` first when the
+        source store lives on."""
+        clusters = self._clusters
+        for prefix, state in other._clusters.items():
+            mine = clusters.get(prefix)
+            if mine is None:
+                clusters[prefix] = state
+            else:
+                mine.merge(state)
+        unclustered = self._unclustered
+        for client, count in other._unclustered.items():
+            unclustered[client] = unclustered.get(client, 0) + count
+        self.entries_applied += other.entries_applied
+        self.lookups_performed += other.lookups_performed
+        return self
+
+    # -- observation -----------------------------------------------------
+
+    def snapshot(
+        self, name: str = "engine", method: str = "network-aware"
+    ) -> ClusterSet:
+        """Materialise a :class:`ClusterSet` (same layout as
+        :func:`repro.core.clustering.cluster_log` output: clusters in
+        prefix order, client lists ascending)."""
+        clusters: List[Cluster] = []
+        for prefix, state in sorted(
+            self._clusters.items(), key=lambda kv: kv[0].sort_key()
+        ):
+            clusters.append(
+                Cluster(
+                    identifier=prefix,
+                    clients=sorted(state.client_counts),
+                    requests=state.requests,
+                    unique_urls=len(state.urls),
+                    total_bytes=state.total_bytes,
+                    source_kind=state.source_kind,
+                    source_name=state.source_name,
+                )
+            )
+        return ClusterSet(
+            log_name=name,
+            method=method,
+            clusters=clusters,
+            unclustered_clients=sorted(self._unclustered),
+        )
+
+    # -- persistence -----------------------------------------------------
+
+    def _payload(self) -> Dict[str, Any]:
+        return {
+            "clusters": self._clusters,
+            "unclustered": self._unclustered,
+            "entries_applied": self.entries_applied,
+            "lookups_performed": self.lookups_performed,
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: Dict[str, Any]) -> "ClusterStore":
+        store = cls()
+        store._clusters = payload["clusters"]
+        store._unclustered = payload["unclustered"]
+        store.entries_applied = payload["entries_applied"]
+        store.lookups_performed = payload["lookups_performed"]
+        return store
+
+    def checkpoint(self, path: str, table_digest: str = "") -> None:
+        """Persist this store alone (single-shard convenience)."""
+        write_checkpoint(path, [self], table_digest=table_digest)
+
+    @classmethod
+    def restore(cls, path: str, table_digest: str = "") -> "ClusterStore":
+        """Load a single-store checkpoint written by :meth:`checkpoint`."""
+        stores, _ = read_checkpoint(path, table_digest=table_digest)
+        if len(stores) != 1:
+            raise CheckpointError(
+                f"expected a single-store checkpoint, found {len(stores)} shards"
+            )
+        return stores[0]
+
+
+def write_checkpoint(
+    path: str,
+    stores: Sequence[ClusterStore],
+    table_digest: str = "",
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write shard ``stores`` to ``path`` in the versioned format.
+
+    ``table_digest`` (see :meth:`PackedLpm.digest`) records which prefix
+    set the accumulated lookups were resolved against; a restore that
+    supplies a digest refuses to resume against a different table.
+    """
+    document = {
+        "magic": CHECKPOINT_MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "table_digest": table_digest,
+        "meta": dict(meta or {}),
+        "shards": [store._payload() for store in stores],
+    }
+    with open(path, "wb") as handle:
+        pickle.dump(document, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def read_checkpoint(
+    path: str, table_digest: str = ""
+) -> Tuple[List[ClusterStore], Dict[str, Any]]:
+    """Load a checkpoint; returns ``(stores, meta)``.
+
+    Raises :class:`CheckpointError` for foreign files, version skew, or
+    (when ``table_digest`` is given) a routing-table mismatch.
+    """
+    try:
+        with open(path, "rb") as handle:
+            document = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    if not isinstance(document, dict) or document.get("magic") != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path!r} is not a repro.engine checkpoint")
+    version = document.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {version!r} unsupported "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    stored_digest = document.get("table_digest", "")
+    if table_digest and stored_digest and stored_digest != table_digest:
+        raise CheckpointError(
+            "checkpoint was taken against a different routing table "
+            f"(stored digest {stored_digest[:12]}…, current {table_digest[:12]}…)"
+        )
+    stores = [
+        ClusterStore._from_payload(payload) for payload in document["shards"]
+    ]
+    return stores, document.get("meta", {})

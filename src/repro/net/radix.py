@@ -256,6 +256,19 @@ class RadixTree(Generic[V]):
             if node.left is not None:
                 stack.append(node.left)
 
+    def export_entries(self) -> List[Tuple[Prefix, V]]:
+        """All entries as a ``sort_key``-ordered list.
+
+        The compile hook for immutable lookup structures (notably
+        :class:`repro.engine.packed.PackedLpm`): one call materialises
+        the trie's contents in the canonical order packed builders
+        expect, so the trie stays the mutable build-side structure and
+        the packed table the read-side one.
+        """
+        entries = list(self.items())
+        entries.sort(key=lambda kv: kv[0].sort_key())
+        return entries
+
     def prefixes(self) -> Iterator[Prefix]:
         """Iterate stored prefixes in address order."""
         for prefix, _ in self.items():

@@ -14,7 +14,18 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO
 
 from repro.weblog.entry import LogEntry, LogFormatError
 
-__all__ = ["WebLog", "ParseReport", "parse_clf_lines", "load_clf"]
+__all__ = [
+    "WebLog",
+    "ParseReport",
+    "ParseLimitError",
+    "parse_clf_lines",
+    "iter_clf_entries",
+    "load_clf",
+]
+
+
+class ParseLimitError(ValueError):
+    """Raised when malformed lines exceed a stream's ``max_errors``."""
 
 
 @dataclass
@@ -121,16 +132,26 @@ class WebLog:
         return self._by_client
 
 
-def parse_clf_lines(
-    name: str, lines: Iterable[str], report: Optional[ParseReport] = None
-) -> WebLog:
-    """Parse CLF ``lines`` into a :class:`WebLog`.
+def iter_clf_entries(
+    lines: Iterable[str],
+    report: Optional[ParseReport] = None,
+    max_errors: Optional[int] = None,
+) -> Iterator[LogEntry]:
+    """Stream :class:`LogEntry` objects out of CLF ``lines``.
+
+    This is the engine-mode front end: entries are yielded as they
+    parse, so arbitrarily large logs stream through in constant memory,
+    and malformed lines are counted-and-skipped in ``report`` rather
+    than aborting the batch they arrived in.  ``max_errors`` is the
+    guard against feeding the engine something that is not a CLF log at
+    all: when more than ``max_errors`` malformed lines accumulate, the
+    stream raises :class:`ParseLimitError` (``max_errors=0`` means
+    strict, ``None`` — the default — never trips).
 
     Requests from 0.0.0.0 (BOOTP-style unknown-source placeholders) are
     excluded, as in the paper's experiments.
     """
     report = report if report is not None else ParseReport()
-    log = WebLog(name)
     for line in lines:
         report.total_lines += 1
         stripped = line.strip()
@@ -140,13 +161,29 @@ def parse_clf_lines(
             entry = LogEntry.from_clf(stripped)
         except (LogFormatError, ValueError):
             report.malformed += 1
+            if max_errors is not None and report.malformed > max_errors:
+                raise ParseLimitError(
+                    f"{report.malformed} malformed lines exceed the "
+                    f"max_errors={max_errors} guard "
+                    f"(line {report.total_lines}: {stripped[:80]!r})"
+                )
             continue
         if entry.client == 0:
             report.null_client += 1
             continue
         report.parsed += 1
-        log.append(entry)
-    return log
+        yield entry
+
+
+def parse_clf_lines(
+    name: str,
+    lines: Iterable[str],
+    report: Optional[ParseReport] = None,
+    max_errors: Optional[int] = None,
+) -> WebLog:
+    """Parse CLF ``lines`` into a :class:`WebLog` (see
+    :func:`iter_clf_entries` for the skip/guard behaviour)."""
+    return WebLog(name, iter_clf_entries(lines, report, max_errors))
 
 
 def load_clf(name: str, stream: TextIO) -> WebLog:

@@ -1,0 +1,97 @@
+"""Unit tests for the repro-engine command-line front end."""
+
+import pytest
+
+from repro.engine.cli import main
+
+ACCESS_LOG = """\
+12.65.147.94 - - [13/Feb/1998:09:12:01 +0000] "GET /a HTTP/1.0" 200 100
+12.65.147.149 - - [13/Feb/1998:09:12:07 +0000] "GET /b HTTP/1.0" 200 200
+24.48.3.87 - - [13/Feb/1998:09:16:33 +0000] "GET /a HTTP/1.0" 200 100
+24.48.2.166 - - [13/Feb/1998:09:17:20 +0000] "GET /c HTTP/1.0" 200 300
+garbage line
+"""
+
+DUMP = """\
+12.65.128.0/19\thop1\t7018
+24.48.2.0/255.255.254.0\thop2\t64500
+"""
+
+
+@pytest.fixture()
+def files(tmp_path):
+    log = tmp_path / "access.log"
+    log.write_text(ACCESS_LOG)
+    dump = tmp_path / "routes.txt"
+    dump.write_text(DUMP)
+    return str(log), str(dump)
+
+
+class TestBasicRun:
+    def test_clusters_and_prints(self, files, capsys):
+        log, dump = files
+        assert main([log, "--table", dump, "--shards", "2",
+                     "--chunk-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "packed LPM table" in out
+        assert "12.65.128.0/19" in out
+        assert "24.48.2.0/23" in out
+        assert "parsed 4" in out
+
+    def test_metrics_flag(self, files, capsys):
+        log, dump = files
+        assert main([log, "--table", dump, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "engine metrics" in out
+        assert "shard_skew" in out
+
+    def test_requires_a_table(self, files):
+        log, _ = files
+        with pytest.raises(SystemExit):
+            main([log])
+
+    def test_max_errors_aborts(self, tmp_path, files, capsys):
+        _, dump = files
+        bad = tmp_path / "bad.log"
+        bad.write_text("nonsense\nmore nonsense\n")
+        assert main([str(bad), "--table", dump, "--max-errors", "0"]) == 1
+        assert "aborting" in capsys.readouterr().err
+
+
+class TestCheckpointFlow:
+    def test_checkpoint_then_resume_accumulates(self, tmp_path, files, capsys):
+        log, dump = files
+        ckpt = str(tmp_path / "run.ckpt")
+        assert main([log, "--table", dump, "--checkpoint", ckpt]) == 0
+        first = capsys.readouterr().out
+        assert "checkpoint written" in first
+        # Resuming and re-ingesting the same log doubles every count.
+        assert main([log, "--table", dump, "--checkpoint", ckpt,
+                     "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed from" in second
+        assert "4 entries already ingested" in second
+
+    def test_resume_without_checkpoint_starts_fresh(self, tmp_path, files,
+                                                    capsys):
+        log, dump = files
+        ckpt = str(tmp_path / "never-written.ckpt")
+        assert main([log, "--table", dump, "--checkpoint", ckpt,
+                     "--resume"]) == 0
+        assert "starting fresh" in capsys.readouterr().out
+
+    def test_checkpoint_every_requires_path(self, files):
+        log, dump = files
+        with pytest.raises(SystemExit):
+            main([log, "--table", dump, "--checkpoint-every", "100"])
+
+    def test_periodic_checkpointing(self, tmp_path, files, capsys):
+        log, dump = files
+        ckpt = str(tmp_path / "period.ckpt")
+        assert main([log, "--table", dump, "--chunk-size", "2",
+                     "--checkpoint", ckpt, "--checkpoint-every", "2",
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        # Two mid-run checkpoints (after each 2-entry chunk) + the final.
+        assert "checkpoints_written" in out
+        assert "checkpoint written" in out

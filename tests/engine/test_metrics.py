@@ -1,0 +1,62 @@
+"""EngineMetrics: counter math, derived rates, rendering."""
+
+from repro.engine.metrics import EngineMetrics
+
+
+class TestCounters:
+    def test_record_batch_accumulates(self):
+        metrics = EngineMetrics(2)
+        metrics.record_batch([60, 40], seconds=0.5, lookups=100)
+        metrics.record_batch([30, 70], seconds=1.5, lookups=100)
+        assert metrics.entries == 200
+        assert metrics.lookups == 200
+        assert metrics.batches == 2
+        assert metrics.shard_entries == [90, 110]
+        assert metrics.total_seconds == 2.0
+        assert metrics.max_batch_seconds == 1.5
+        assert metrics.mean_batch_seconds == 1.0
+        assert metrics.entries_per_second == 100.0
+
+    def test_shard_skew(self):
+        metrics = EngineMetrics(2)
+        metrics.record_batch([150, 50], seconds=1.0, lookups=200)
+        assert metrics.shard_skew == 1.5
+        balanced = EngineMetrics(4)
+        balanced.record_batch([25, 25, 25, 25], seconds=1.0, lookups=100)
+        assert balanced.shard_skew == 1.0
+
+    def test_zero_state_is_safe(self):
+        metrics = EngineMetrics(3)
+        assert metrics.entries_per_second == 0.0
+        assert metrics.mean_batch_seconds == 0.0
+        assert metrics.shard_skew == 1.0
+
+    def test_event_counters(self):
+        metrics = EngineMetrics(1)
+        metrics.record_malformed(3)
+        metrics.record_checkpoint()
+        metrics.record_table_swap()
+        snap = metrics.snapshot()
+        assert snap["malformed_skipped"] == 3
+        assert snap["checkpoints_written"] == 1
+        assert snap["table_swaps"] == 1
+
+
+class TestExport:
+    def test_snapshot_keys_are_stable(self):
+        snap = EngineMetrics(2).snapshot()
+        assert set(snap) == {
+            "entries", "lookups", "batches", "malformed_skipped",
+            "checkpoints_written", "table_swaps", "num_shards",
+            "total_seconds", "mean_batch_seconds", "max_batch_seconds",
+            "entries_per_second", "shard_skew",
+        }
+
+    def test_render_is_a_table(self):
+        metrics = EngineMetrics(2)
+        metrics.record_batch([5000, 5000], seconds=0.25, lookups=10_000)
+        text = metrics.render()
+        assert "engine metrics" in text
+        assert "entries_per_second" in text
+        assert "40,000" in text  # 10k entries / 0.25 s
+        assert "shard_skew" in text

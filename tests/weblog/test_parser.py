@@ -1,8 +1,16 @@
 """Unit tests for log parsing and the WebLog container."""
 
+import pytest
+
 from repro.net.ipv4 import parse_ipv4
 from repro.weblog.entry import LogEntry
-from repro.weblog.parser import ParseReport, WebLog, parse_clf_lines
+from repro.weblog.parser import (
+    ParseLimitError,
+    ParseReport,
+    WebLog,
+    iter_clf_entries,
+    parse_clf_lines,
+)
 
 
 def entry(client: str, t: float, url: str = "/a") -> LogEntry:
@@ -32,6 +40,50 @@ class TestParseClfLines:
         ]
         log = parse_clf_lines("t", lines)
         assert len(log) == 0
+
+
+GOOD = '1.2.3.{host} - - [13/Feb/1998:00:00:0{host} +0000] "GET /u HTTP/1.0" 200 10'
+
+
+class TestIterClfEntries:
+    """The streaming (engine-mode) front end: skip, count, guard."""
+
+    def test_streams_entries_lazily(self):
+        lines = iter([GOOD.format(host=4), GOOD.format(host=5)])
+        report = ParseReport()
+        stream = iter_clf_entries(lines, report)
+        first = next(stream)
+        assert first.client == parse_ipv4("1.2.3.4")
+        assert report.parsed == 1  # second line not consumed yet
+        assert next(stream).client == parse_ipv4("1.2.3.5")
+        assert report.parsed == 2
+
+    def test_malformed_lines_counted_and_skipped(self):
+        lines = ["junk", GOOD.format(host=4), "more junk", GOOD.format(host=5)]
+        report = ParseReport()
+        entries = list(iter_clf_entries(lines, report))
+        assert len(entries) == 2
+        assert report.malformed == 2
+
+    def test_max_errors_guard_trips(self):
+        lines = ["junk 1", "junk 2", GOOD.format(host=4)]
+        report = ParseReport()
+        with pytest.raises(ParseLimitError, match="max_errors=1"):
+            list(iter_clf_entries(lines, report, max_errors=1))
+        assert report.malformed == 2
+
+    def test_max_errors_zero_is_strict(self):
+        with pytest.raises(ParseLimitError):
+            list(iter_clf_entries(["not clf"], max_errors=0))
+
+    def test_max_errors_at_limit_passes(self):
+        lines = ["junk", GOOD.format(host=4)]
+        entries = list(iter_clf_entries(lines, max_errors=1))
+        assert len(entries) == 1
+
+    def test_parse_clf_lines_forwards_guard(self):
+        with pytest.raises(ParseLimitError):
+            parse_clf_lines("t", ["junk", "junk"], max_errors=1)
 
 
 class TestWebLogIndexes:
