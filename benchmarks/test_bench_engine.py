@@ -35,22 +35,36 @@ def address_batch(nagano):
     ]
 
 
+def _best_of(repetitions, func):
+    """Minimum wall-clock over ``repetitions`` runs — the standard guard
+    against scheduler noise on a loaded box — plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repetitions):
+        began = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - began)
+    return best, result
+
+
 class TestPackedVsRadix:
     def test_packed_batch_beats_radix_loop(self, merged_table, packed,
                                            address_batch):
-        """The headline claim, measured head-to-head in one process."""
+        """The headline claim, measured head-to-head in one process.
+
+        Best-of-3 on each side so a single descheduled run can't flip
+        the comparison when the machine is busy.
+        """
         tree = merged_table._tree
 
-        began = time.perf_counter()
-        radix_hits = sum(
+        radix_seconds, radix_hits = _best_of(3, lambda: sum(
             1 for address in address_batch
             if tree.longest_match(address) is not None
-        )
-        radix_seconds = time.perf_counter() - began
+        ))
 
-        began = time.perf_counter()
-        indices = packed.lookup_many(address_batch)
-        packed_seconds = time.perf_counter() - began
+        packed_seconds, indices = _best_of(
+            3, lambda: packed.lookup_many(address_batch)
+        )
         packed_hits = sum(1 for index in indices if index >= 0)
 
         assert packed_hits == radix_hits

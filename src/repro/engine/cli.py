@@ -8,15 +8,23 @@ The full engine surface over real CLF logs and real dump files::
 Ingestion streams the log in constant memory, fanning batches out to
 shard workers.  ``--checkpoint`` writes the versioned engine state at
 the end of the run (and every ``--checkpoint-every`` entries along the
-way); ``--resume`` restores from that file first, so an interrupted run
-continues where it stopped and finishes with the same cluster table an
-uninterrupted run produces.  ``--metrics`` prints the engine's
-counters (entries/sec, batch latency, shard skew).
+way); ``--resume`` restores from that file first.  Checkpoints record
+which log was being ingested and how many of its entries were already
+counted, so resuming against the *same* log skips that prefix and the
+run finishes with the same cluster table an uninterrupted run produces
+— no entry is ever counted twice.  Resuming against a *different* log
+ingests all of it on top of the restored state (append mode).
+``--metrics`` prints the engine's counters (entries/sec, batch
+latency, shard skew).
+
+Checkpoint files are pickle-based: only ``--resume`` from files you
+wrote yourself (see :mod:`repro.engine.state`).
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import os
 import sys
 from typing import List, Optional
@@ -70,7 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--resume", action="store_true",
         help="restore state from --checkpoint before ingesting "
-             "(requires the same routing table)",
+             "(requires the same routing table); when the checkpoint "
+             "was taken against this same log, its already-ingested "
+             "prefix is skipped, otherwise the whole log is appended",
     )
     parser.add_argument(
         "--metrics", action="store_true",
@@ -112,6 +122,52 @@ def _build_engine(
     return ShardedClusterEngine(packed, config, metrics)
 
 
+def _entries_to_skip(resume_meta: dict, log: str) -> int:
+    """How many parsed entries of ``log`` the checkpoint already counted.
+
+    Checkpoints written by this CLI record the log they were ingesting
+    (``log``) and how many of its parsed entries had been folded in
+    (``log_entries``).  Resuming against the same log skips exactly that
+    prefix — parsing is deterministic, so entry N of a re-read is entry
+    N of the interrupted run — which is what makes the resumed cluster
+    table identical to an uninterrupted run's.  Resuming against any
+    other log (or a checkpoint written through the engine API, which
+    records no source log) skips nothing: the whole log is appended on
+    top of the restored state.
+    """
+    if not resume_meta:
+        return 0
+    checkpoint_log = resume_meta.get("log")
+    if checkpoint_log == log:
+        skip = int(resume_meta.get("log_entries", 0))
+        if skip:
+            print(
+                f"skipping the first {skip:,} entries of {log} "
+                "(already in the checkpoint)"
+            )
+        return skip
+    if checkpoint_log:
+        print(
+            f"checkpoint was taken against {checkpoint_log!r}; "
+            f"appending all of {log!r} to the restored state"
+        )
+    else:
+        print(
+            "checkpoint records no source log; "
+            "appending the whole log to the restored state"
+        )
+    return 0
+
+
+def _write_checkpoint(
+    engine: ShardedClusterEngine, args: argparse.Namespace, log_entries: int
+) -> None:
+    engine.checkpoint(
+        args.checkpoint,
+        extra_meta={"log": args.log, "log_entries": log_entries},
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -132,12 +188,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CheckpointError as exc:
         print(f"cannot resume: {exc}", file=sys.stderr)
         return 1
+    skip = _entries_to_skip(engine.resume_meta, args.log)
 
     report = ParseReport()
     since_checkpoint = 0
+    ingested_this_run = 0
     with engine:
         with open(args.log) as handle:
             entries = iter_clf_entries(handle, report, max_errors=args.max_errors)
+            if skip:
+                entries = itertools.islice(entries, skip, None)
             try:
                 while True:
                     batch = []
@@ -147,12 +207,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                             break
                     if not batch:
                         break
-                    since_checkpoint += engine.ingest(batch)
+                    ingested = engine.ingest(batch)
+                    since_checkpoint += ingested
+                    ingested_this_run += ingested
                     if (
                         args.checkpoint_every
                         and since_checkpoint >= args.checkpoint_every
                     ):
-                        engine.checkpoint(args.checkpoint)
+                        _write_checkpoint(
+                            engine, args, skip + ingested_this_run
+                        )
                         since_checkpoint = 0
             except ParseLimitError as exc:
                 print(f"aborting: {exc}", file=sys.stderr)
@@ -163,11 +227,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({report.malformed:,} malformed, "
             f"{report.null_client:,} null-client lines dropped)"
         )
+        if skip and report.parsed < skip:
+            print(
+                f"warning: {args.log} holds {report.parsed:,} entries but "
+                f"the checkpoint had already ingested {skip:,} from it — "
+                "the log appears to have shrunk since the checkpoint",
+                file=sys.stderr,
+            )
         if engine.entries_ingested == 0:
             print("no usable entries; nothing to cluster", file=sys.stderr)
             return 1
         if args.checkpoint:
-            engine.checkpoint(args.checkpoint)
+            _write_checkpoint(engine, args, skip + ingested_this_run)
             print(f"checkpoint written: {args.checkpoint}")
 
         clusters = engine.snapshot()

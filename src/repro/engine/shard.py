@@ -22,7 +22,9 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple,
+)
 
 from repro.core.clustering import ClusterSet
 from repro.engine.metrics import EngineMetrics
@@ -108,6 +110,9 @@ class ShardedClusterEngine:
             ClusterStore() for _ in range(self.config.num_shards)
         ]
         self._pool: Optional[multiprocessing.pool.Pool] = None
+        #: Checkpoint metadata this engine was restored from ({} when the
+        #: engine started fresh); see :meth:`resume`.
+        self.resume_meta: Dict[str, Any] = {}
 
     # -- lifecycle -------------------------------------------------------
 
@@ -214,18 +219,26 @@ class ShardedClusterEngine:
 
     # -- persistence -----------------------------------------------------
 
-    def checkpoint(self, path: str) -> None:
-        """Write all shard states plus run metadata to ``path``."""
+    def checkpoint(
+        self, path: str, extra_meta: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Write all shard states plus run metadata to ``path``.
+
+        ``extra_meta`` entries are merged into the checkpoint's meta
+        dict; the CLI uses this to record which log was being ingested
+        and how far through it the run had got, so a resumed run can
+        skip the already-counted prefix.
+        """
+        meta = {
+            "num_shards": self.config.num_shards,
+            "chunk_size": self.config.chunk_size,
+            "name": self.config.name,
+            "entries_ingested": self.entries_ingested,
+        }
+        if extra_meta:
+            meta.update(extra_meta)
         write_checkpoint(
-            path,
-            self._stores,
-            table_digest=self.table.digest(),
-            meta={
-                "num_shards": self.config.num_shards,
-                "chunk_size": self.config.chunk_size,
-                "name": self.config.name,
-                "entries_ingested": self.entries_ingested,
-            },
+            path, self._stores, table_digest=self.table.digest(), meta=meta
         )
         self.metrics.record_checkpoint()
 
@@ -243,8 +256,19 @@ class ShardedClusterEngine:
         With ``verify_table`` the checkpoint must have been taken
         against a table with the same prefix set (digest match).  A
         different shard count than the checkpoint's is allowed — shard
-        states merge into the new layout without changing results,
-        since all statistics are order- and placement-independent.
+        states merge into the new layout without changing aggregate
+        results, since all statistics are order- and
+        placement-independent.  Note the remapping is ``old_shard %
+        num_shards``, not a re-partition by :func:`shard_of`: after a
+        reshard resume the *per-shard attribution* of restored state is
+        arbitrary (restored clients need not live on the shard
+        ``shard_of`` would pick), so only aggregate snapshots — not any
+        future placement-dependent accounting — should be read off the
+        restored stores.  Shard-skew metrics are unaffected either way:
+        they are computed from post-resume batch sizes only.
+
+        The checkpoint's meta dict is kept on the returned engine as
+        ``resume_meta``.
         """
         digest = table.digest() if verify_table else ""
         stores, meta = read_checkpoint(path, table_digest=digest)
@@ -260,6 +284,7 @@ class ShardedClusterEngine:
         else:
             for shard, store in enumerate(stores):
                 engine._stores[shard % config.num_shards].merge(store)
+        engine.resume_meta = dict(meta)
         return engine
 
 

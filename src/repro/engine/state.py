@@ -18,6 +18,14 @@ Checkpoints are a versioned on-disk format (:func:`write_checkpoint` /
 :func:`read_checkpoint`) so long runs survive interruption: restore in
 a fresh process and continue feeding batches; the final snapshot is
 identical to an uninterrupted run.
+
+.. warning::
+   The checkpoint payload is a pickle.  Unpickling executes code
+   chosen by whoever wrote the file, so the magic/version/digest
+   checks authenticate *nothing* — they run after the payload has
+   already been deserialised.  Only restore checkpoints you wrote
+   yourself on a filesystem you trust; never load one received over
+   the network.
 """
 
 from __future__ import annotations
@@ -267,6 +275,13 @@ def read_checkpoint(
 
     Raises :class:`CheckpointError` for foreign files, version skew, or
     (when ``table_digest`` is given) a routing-table mismatch.
+
+    .. warning::
+       ``path`` is unpickled — a tampered checkpoint can execute
+       arbitrary code before any of the validation here runs.  The
+       checks guard against *accidents* (wrong file, stale version,
+       different table), not against malicious input; only load files
+       you trust (see the module docstring).
     """
     try:
         with open(path, "rb") as handle:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.cli import main
+from repro.engine.cli import _entries_to_skip, main
 
 ACCESS_LOG = """\
 12.65.147.94 - - [13/Feb/1998:09:12:01 +0000] "GET /a HTTP/1.0" 200 100
@@ -58,19 +58,88 @@ class TestBasicRun:
         assert "aborting" in capsys.readouterr().err
 
 
+def _cluster_table(out):
+    """The rendered cluster table (title row onward) from CLI output."""
+    lines = out.splitlines()
+    start = next(
+        i for i, line in enumerate(lines) if "clusters by requests" in line
+    )
+    return "\n".join(lines[start:])
+
+
 class TestCheckpointFlow:
-    def test_checkpoint_then_resume_accumulates(self, tmp_path, files, capsys):
+    def test_resume_same_log_skips_already_ingested(self, tmp_path, files,
+                                                    capsys):
         log, dump = files
         ckpt = str(tmp_path / "run.ckpt")
         assert main([log, "--table", dump, "--checkpoint", ckpt]) == 0
         first = capsys.readouterr().out
         assert "checkpoint written" in first
-        # Resuming and re-ingesting the same log doubles every count.
+        # Resuming against the same log skips its already-counted prefix,
+        # so nothing is double-counted and the table is unchanged.
         assert main([log, "--table", dump, "--checkpoint", ckpt,
                      "--resume"]) == 0
         second = capsys.readouterr().out
         assert "resumed from" in second
         assert "4 entries already ingested" in second
+        assert "skipping the first 4 entries" in second
+        assert _cluster_table(second) == _cluster_table(first)
+
+    def test_interrupted_run_resumes_to_identical_table(self, tmp_path,
+                                                        capsys):
+        dump = tmp_path / "routes.txt"
+        dump.write_text(DUMP)
+        log = tmp_path / "access.log"
+        # The uninterrupted baseline over the full log.
+        log.write_text(ACCESS_LOG)
+        assert main([str(log), "--table", str(dump)]) == 0
+        expected = _cluster_table(capsys.readouterr().out)
+        # "Interrupted" run: only the first half of the log existed when
+        # the checkpoint was written...
+        ckpt = str(tmp_path / "run.ckpt")
+        half = "".join(ACCESS_LOG.splitlines(keepends=True)[:2])
+        log.write_text(half)
+        assert main([str(log), "--table", str(dump),
+                     "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        # ...then the full log is replayed with --resume: the first two
+        # entries are skipped, the rest ingested, and the final table
+        # matches the uninterrupted run exactly.
+        log.write_text(ACCESS_LOG)
+        assert main([str(log), "--table", str(dump), "--checkpoint", ckpt,
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "skipping the first 2 entries" in out
+        assert _cluster_table(out) == expected
+
+    def test_resume_different_log_appends(self, tmp_path, files, capsys):
+        log, dump = files
+        ckpt = str(tmp_path / "run.ckpt")
+        assert main([log, "--table", dump, "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        other = tmp_path / "other.log"
+        other.write_text(
+            '12.65.147.94 - - [13/Feb/1998:10:00:00 +0000] '
+            '"GET /d HTTP/1.0" 200 50\n'
+        )
+        assert main([str(other), "--table", dump, "--checkpoint", ckpt,
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "appending all of" in out
+        # 4 restored + 1 appended; the /19 cluster now holds 3 requests.
+        assert "5 entries already ingested" not in out  # restored 4, not 5
+        assert "parsed 1" in out
+
+    def test_entries_to_skip_branches(self, capsys):
+        assert _entries_to_skip({}, "a.log") == 0
+        assert _entries_to_skip(
+            {"log": "a.log", "log_entries": 7}, "a.log"
+        ) == 7
+        assert _entries_to_skip(
+            {"log": "b.log", "log_entries": 7}, "a.log"
+        ) == 0
+        # Engine-API checkpoints record no source log: never skip.
+        assert _entries_to_skip({"num_shards": 2}, "a.log") == 0
 
     def test_resume_without_checkpoint_starts_fresh(self, tmp_path, files,
                                                     capsys):
