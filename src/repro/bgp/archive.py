@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.bgp.formats import DumpReport
 from repro.bgp.sources import DEFAULT_SOURCES, SourceSpec
 from repro.bgp.synth import SnapshotFactory, SnapshotTime
 from repro.bgp.table import MergedPrefixTable, RoutingTable
@@ -60,11 +61,16 @@ def load_snapshot(
     path: Path,
     name: Optional[str] = None,
     kind: Optional[str] = None,
+    report: Optional[DumpReport] = None,
+    max_errors: Optional[int] = None,
 ) -> RoutingTable:
     """Read a dump written by :func:`save_snapshot` (or any raw dump).
 
     Provenance comments are honoured when present; explicit ``name`` /
     ``kind`` arguments override them (for dumps fetched from elsewhere).
+    Malformed lines are counted-and-skipped into ``report`` with an
+    optional ``max_errors`` budget — see
+    :func:`repro.bgp.formats.iter_dump_routes`.
     """
     header: Dict[str, str] = {}
     with open(path) as handle:
@@ -78,6 +84,8 @@ def load_snapshot(
         lines,
         kind=kind or header.get("kind", "bgp"),
         date=header.get("date", ""),
+        report=report,
+        max_errors=max_errors,
     )
     return table
 

@@ -11,11 +11,20 @@ Routing-table dumps circa 1999 spelled network entries in three ways:
 The paper unifies everything into format (i).  This module parses all
 three, renders format (i), and guesses the format of a line so mixed
 dumps can be ingested.
+
+Real snapshots are dirty — headers, truncated lines, router chatter —
+and the paper's collection scripts tolerated them (§3.1.1).
+:func:`iter_dump_routes` is the streaming reader with the same
+count-and-skip contract as ``weblog.parser.iter_clf_entries``: bad
+lines are tallied in a :class:`DumpReport` instead of aborting the
+load, ``max_errors`` guards against files that are not dumps at all,
+and ``strict=True`` restores raise-on-first-error.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.net.ipv4 import (
     AddressError,
@@ -33,6 +42,9 @@ __all__ = [
     "render_entry",
     "detect_format",
     "pad_dropped_zeroes",
+    "DumpReport",
+    "DumpLimitError",
+    "iter_dump_routes",
 ]
 
 FORMAT_DOTTED_NETMASK = "dotted_netmask"  # format (i)
@@ -127,3 +139,67 @@ def unify(entry: str) -> str:
     """Parse ``entry`` in any format and re-render it in the standard
     format (i) — the paper's unification step in one call."""
     return render_entry(parse_entry(entry), FORMAT_DOTTED_NETMASK)
+
+
+# -- streaming dump reading -----------------------------------------------
+
+
+class DumpLimitError(ValueError):
+    """Raised when malformed dump lines exceed a reader's ``max_errors``."""
+
+
+@dataclass
+class DumpReport:
+    """Counts from one dump-reading pass (routing-data hygiene).
+
+    ``skipped`` covers blank lines and ``#`` comments — expected
+    structure, not damage; only ``malformed`` lines count against a
+    ``max_errors`` budget.
+    """
+
+    total_lines: int = 0
+    parsed: int = 0
+    malformed: int = 0
+    skipped: int = 0
+
+
+def iter_dump_routes(
+    lines: Iterable[str],
+    report: Optional[DumpReport] = None,
+    max_errors: Optional[int] = None,
+    strict: bool = False,
+) -> Iterator[Tuple[Prefix, List[str]]]:
+    """Stream ``(prefix, fields)`` pairs out of routing-dump ``lines``.
+
+    ``fields`` is the whitespace/tab-split line with the prefix text in
+    ``fields[0]`` — callers pull next hop and AS path from the rest.
+    Malformed lines (unparseable prefix in any of the three formats)
+    are counted-and-skipped in ``report``; when more than ``max_errors``
+    of them accumulate the stream raises :class:`DumpLimitError`
+    (``max_errors=0`` means one bad line is fatal, ``None`` — the
+    default — never trips).  ``strict=True`` re-raises the first
+    parse error verbatim, the historical loader behaviour.
+    """
+    report = report if report is not None else DumpReport()
+    for raw in lines:
+        report.total_lines += 1
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            report.skipped += 1
+            continue
+        fields = line.split("\t") if "\t" in line else line.split()
+        try:
+            prefix = parse_entry(fields[0])
+        except (AddressError, ValueError) as exc:
+            if strict:
+                raise
+            report.malformed += 1
+            if max_errors is not None and report.malformed > max_errors:
+                raise DumpLimitError(
+                    f"{report.malformed} malformed dump lines exceed the "
+                    f"max_errors={max_errors} guard "
+                    f"(line {report.total_lines}: {line[:80]!r})"
+                ) from exc
+            continue
+        report.parsed += 1
+        yield prefix, fields

@@ -19,7 +19,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bgp.formats import (
     FORMAT_DOTTED_NETMASK,
-    parse_entry,
+    DumpReport,
+    iter_dump_routes,
     render_entry,
 )
 from repro.net.prefix import Prefix
@@ -143,24 +144,23 @@ class RoutingTable:
         date: str = "",
         dump_format: str = FORMAT_DOTTED_NETMASK,
         strict: bool = False,
+        report: Optional[DumpReport] = None,
+        max_errors: Optional[int] = None,
     ) -> "RoutingTable":
-        """Parse a dump.  Malformed lines are skipped unless ``strict``.
+        """Parse a dump with count-and-skip hygiene.
 
         Real dumps contain headers, comments, and truncated lines; the
-        collector scripts of §3.1.1 tolerate them, and so do we.
+        collector scripts of §3.1.1 tolerate them, and so do we —
+        malformed lines are tallied in ``report`` (pass one in to read
+        the counts back) and ``max_errors`` bounds how much damage is
+        tolerable before :class:`~repro.bgp.formats.DumpLimitError`
+        aborts the load.  ``strict=True`` preserves the historical
+        raise-on-first-error behaviour.
         """
         table = cls(name, kind=kind, date=date, dump_format=dump_format)
-        for raw in lines:
-            line = raw.strip()
-            if not line or line.startswith("#"):
-                continue
-            fields = line.split("\t") if "\t" in line else line.split()
-            try:
-                prefix = parse_entry(fields[0])
-            except Exception:
-                if strict:
-                    raise
-                continue
+        for prefix, fields in iter_dump_routes(
+            lines, report=report, max_errors=max_errors, strict=strict
+        ):
             next_hop = fields[1] if len(fields) > 1 else ""
             as_path: Tuple[int, ...] = ()
             if len(fields) > 2:

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
+from repro.bgp.formats import DumpReport
 from repro.bgp.table import KIND_BGP, MergedPrefixTable, RoutingTable
 from repro.core.clustering import (
     METHOD_NETWORK_AWARE,
@@ -88,13 +89,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def load_tables(paths: List[str]) -> MergedPrefixTable:
-    """Merge routing-table dump files into one prefix table."""
+def load_tables(
+    paths: List[str],
+    max_errors: Optional[int] = None,
+    injector: Optional[Any] = None,
+) -> MergedPrefixTable:
+    """Merge routing-table dump files into one prefix table.
+
+    Malformed dump lines are counted-and-skipped (reported on stderr),
+    mirroring the log parser's hygiene: one garbage line in one of
+    fourteen snapshots must not abort table loading.  ``max_errors``
+    bounds the per-file tolerance
+    (:class:`repro.bgp.formats.DumpLimitError` beyond it); ``injector``
+    is the chaos hook that mangles lines in flight
+    (:mod:`repro.faults`).
+    """
     merged = MergedPrefixTable()
     for path in paths:
+        report = DumpReport()
         with open(path) as handle:
+            lines: Any = handle
+            if injector is not None:
+                from repro.faults import SITE_DUMP_MANGLE
+
+                lines = injector.wrap_lines(handle, SITE_DUMP_MANGLE)
             merged.add_table(
-                RoutingTable.from_lines(path, handle, kind=KIND_BGP)
+                RoutingTable.from_lines(
+                    path, lines, kind=KIND_BGP,
+                    report=report, max_errors=max_errors,
+                )
+            )
+        if report.malformed:
+            print(
+                f"warning: skipped {report.malformed:,} malformed line(s) "
+                f"in {path} ({report.parsed:,} parsed)",
+                file=sys.stderr,
             )
     return merged
 

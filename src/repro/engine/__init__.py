@@ -16,8 +16,17 @@ wrong shape for throughput.  This package is the scale-out substrate:
   a ``multiprocessing`` pool, and merges per-shard states in shard
   order so results are deterministic.
 * :mod:`repro.engine.metrics` — :class:`EngineMetrics` counters/timers
-  (entries/sec, lookups, batch latency, shard skew).
+  (entries/sec, lookups, batch latency, shard skew, fault accounting).
+* :mod:`repro.engine.supervisor` — :class:`SupervisedEngine`, the
+  recovery layer: bounded retries with exponential backoff, dead-letter
+  quarantine, read-back-verified checkpoints, and graceful degradation
+  to inline ingestion when the pool keeps dying.
 * :mod:`repro.engine.cli` — the ``repro-engine`` command line.
+
+Fault tolerance is testable: :mod:`repro.faults` injects worker
+crashes, hangs, checkpoint corruption, and dirty input on a
+deterministic schedule, and ``tests/faults/`` proves a disturbed run
+still emits output identical to an undisturbed one.
 
 Everything downstream still receives a plain
 :class:`~repro.core.clustering.ClusterSet`, so validation,
@@ -29,20 +38,29 @@ from repro.engine.metrics import EngineMetrics
 from repro.engine.packed import PackedLpm
 from repro.engine.shard import EngineConfig, ShardedClusterEngine, shard_of
 from repro.engine.state import (
+    CheckpointCorruptError,
     CheckpointError,
+    CheckpointTableMismatchError,
+    CheckpointVersionError,
     ClusterStore,
     read_checkpoint,
     write_checkpoint,
 )
+from repro.engine.supervisor import SupervisedEngine, SupervisorConfig
 
 __all__ = [
     "PackedLpm",
     "ClusterStore",
     "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "CheckpointTableMismatchError",
     "read_checkpoint",
     "write_checkpoint",
     "ShardedClusterEngine",
     "EngineConfig",
     "shard_of",
     "EngineMetrics",
+    "SupervisedEngine",
+    "SupervisorConfig",
 ]

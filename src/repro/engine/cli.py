@@ -17,6 +17,16 @@ ingests all of it on top of the restored state (append mode).
 ``--metrics`` prints the engine's counters (entries/sec, batch
 latency, shard skew).
 
+Ingestion runs supervised (:mod:`repro.engine.supervisor`): failed
+chunks are retried with exponential backoff (``--retries``,
+``--backoff``), chunks that keep failing are quarantined to a
+dead-letter file (``--quarantine``), and when the worker pool keeps
+dying the run degrades to inline ingestion unless ``--no-degrade``
+forbids it.  ``--inject PLAN.json`` arms a :mod:`repro.faults` plan —
+the chaos-testing entry point.  Checkpoints are atomic and
+CRC-verified after every write; a corrupt file fails ``--resume`` with
+a specific, actionable error instead of garbage state.
+
 Checkpoint files are pickle-based: only ``--resume`` from files you
 wrote yourself (see :mod:`repro.engine.state`).
 """
@@ -34,6 +44,8 @@ from repro.engine.metrics import EngineMetrics
 from repro.engine.packed import PackedLpm
 from repro.engine.shard import EngineConfig, ShardedClusterEngine
 from repro.engine.state import CheckpointError
+from repro.engine.supervisor import SupervisedEngine, SupervisorConfig
+from repro.faults import SITE_LOG_TRUNCATE, FaultInjector, FaultPlan
 from repro.weblog.parser import ParseLimitError, ParseReport, iter_clf_entries
 
 __all__ = ["main", "build_parser"]
@@ -83,8 +95,40 @@ def build_parser() -> argparse.ArgumentParser:
              "prefix is skipped, otherwise the whole log is appended",
     )
     parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-dispatches of a failed chunk before quarantining it "
+             "(default 2)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.1, metavar="SECONDS",
+        help="base of the exponential retry backoff (default 0.1s; "
+             "doubles per retry, capped at 5s)",
+    )
+    parser.add_argument(
+        "--quarantine", metavar="PATH", default=None,
+        help="dead-letter file for chunks that exhaust their retries "
+             "(JSON lines; default: quarantined chunks are counted "
+             "but not persisted)",
+    )
+    parser.add_argument(
+        "--no-degrade", action="store_true",
+        help="never fall back to inline single-process ingestion when "
+             "the worker pool keeps dying (fail instead)",
+    )
+    parser.add_argument(
+        "--dispatch-timeout", type=float, default=None, metavar="SECONDS",
+        help="declare a dispatched chunk failed after SECONDS (recovers "
+             "from hung/killed workers; default: wait forever)",
+    )
+    parser.add_argument(
+        "--inject", metavar="PLAN.json", default=None,
+        help="arm a repro.faults FaultPlan (chaos testing): injected "
+             "worker crashes, checkpoint corruption, dirty input",
+    )
+    parser.add_argument(
         "--metrics", action="store_true",
-        help="print engine counters (entries/sec, latency, shard skew)",
+        help="print engine counters (entries/sec, latency, shard skew, "
+             "fault accounting)",
     )
     parser.add_argument(
         "--busy", type=float, default=None, metavar="SHARE",
@@ -98,28 +142,42 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _build_engine(
-    args: argparse.Namespace, packed: PackedLpm
-) -> ShardedClusterEngine:
+    args: argparse.Namespace,
+    packed: PackedLpm,
+    injector: Optional[FaultInjector],
+) -> SupervisedEngine:
     config = EngineConfig(
         num_shards=args.shards,
         chunk_size=args.chunk_size,
         name=args.log,
+        dispatch_timeout=args.dispatch_timeout,
+    )
+    supervision = SupervisorConfig(
+        max_retries=args.retries,
+        backoff_base=args.backoff,
+        quarantine_path=args.quarantine,
+        allow_degraded=not args.no_degrade,
     )
     metrics = EngineMetrics(args.shards)
+    engine: Optional[ShardedClusterEngine] = None
     if args.resume:
         if not args.checkpoint:
             raise CheckpointError("--resume requires --checkpoint PATH")
         if os.path.exists(args.checkpoint):
             engine = ShardedClusterEngine.resume(
-                args.checkpoint, packed, config, metrics
+                args.checkpoint, packed, config, metrics, injector=injector
             )
             print(
                 f"resumed from {args.checkpoint} "
                 f"({engine.entries_ingested:,} entries already ingested)"
             )
-            return engine
-        print(f"no checkpoint at {args.checkpoint}; starting fresh")
-    return ShardedClusterEngine(packed, config, metrics)
+        else:
+            print(f"no checkpoint at {args.checkpoint}; starting fresh")
+    if engine is None:
+        engine = ShardedClusterEngine(
+            packed, config, metrics, injector=injector
+        )
+    return SupervisedEngine(engine, supervision)
 
 
 def _entries_to_skip(resume_meta: dict, log: str) -> int:
@@ -160,7 +218,7 @@ def _entries_to_skip(resume_meta: dict, log: str) -> int:
 
 
 def _write_checkpoint(
-    engine: ShardedClusterEngine, args: argparse.Namespace, log_entries: int
+    engine: SupervisedEngine, args: argparse.Namespace, log_entries: int
 ) -> None:
     engine.checkpoint(
         args.checkpoint,
@@ -176,7 +234,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.checkpoint_every and not args.checkpoint:
         parser.error("--checkpoint-every requires --checkpoint PATH")
 
-    merged = load_tables(args.table)
+    injector: Optional[FaultInjector] = None
+    if args.inject:
+        injector = FaultInjector(FaultPlan.load(args.inject))
+        print(f"fault injection armed from {args.inject}: "
+              f"{', '.join(injector.plan.sites()) or 'no sites'}")
+
+    merged = load_tables(args.table, injector=injector)
     print(f"merged prefix table: {len(merged):,} entries "
           f"from {len(args.table)} dump(s)")
     packed = PackedLpm.from_merged(merged)
@@ -184,7 +248,7 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"{packed.num_intervals:,} intervals")
 
     try:
-        engine = _build_engine(args, packed)
+        engine = _build_engine(args, packed, injector)
     except CheckpointError as exc:
         print(f"cannot resume: {exc}", file=sys.stderr)
         return 1
@@ -195,7 +259,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     ingested_this_run = 0
     with engine:
         with open(args.log) as handle:
-            entries = iter_clf_entries(handle, report, max_errors=args.max_errors)
+            lines = handle
+            if injector is not None:
+                lines = injector.wrap_lines(handle, SITE_LOG_TRUNCATE)
+            entries = iter_clf_entries(lines, report, max_errors=args.max_errors)
             if skip:
                 entries = itertools.islice(entries, skip, None)
             try:
@@ -207,9 +274,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                             break
                     if not batch:
                         break
-                    ingested = engine.ingest(batch)
-                    since_checkpoint += ingested
-                    ingested_this_run += ingested
+                    engine.ingest(batch)
+                    # Positional accounting uses *consumed* entries, not
+                    # applied: a quarantined chunk was consumed from the
+                    # log (it lives in the dead-letter file, not here),
+                    # so a later --resume must not replay it.
+                    since_checkpoint += len(batch)
+                    ingested_this_run += len(batch)
                     if (
                         args.checkpoint_every
                         and since_checkpoint >= args.checkpoint_every
@@ -232,6 +303,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"warning: {args.log} holds {report.parsed:,} entries but "
                 f"the checkpoint had already ingested {skip:,} from it — "
                 "the log appears to have shrunk since the checkpoint",
+                file=sys.stderr,
+            )
+        snap = engine.metrics.snapshot()
+        if snap["chunks_quarantined"]:
+            destination = args.quarantine or "dropped (no --quarantine PATH)"
+            print(
+                f"warning: {int(snap['chunks_quarantined'])} chunk(s) / "
+                f"{int(snap['entries_quarantined']):,} entries quarantined "
+                f"after {args.retries} retries each — {destination}",
+                file=sys.stderr,
+            )
+        if engine.degraded:
+            print(
+                "warning: worker pool kept dying; run finished in "
+                "degraded (inline single-process) mode",
                 file=sys.stderr,
             )
         if engine.entries_ingested == 0:

@@ -27,6 +27,12 @@ class EngineMetrics:
         self.malformed_skipped = 0
         self.checkpoints_written = 0
         self.table_swaps = 0
+        self.worker_restarts = 0
+        self.chunk_retries = 0
+        self.chunks_quarantined = 0
+        self.entries_quarantined = 0
+        self.checkpoint_rewrites = 0
+        self.degraded = False
         self.total_seconds = 0.0
         self.max_batch_seconds = 0.0
         self.shard_entries: List[int] = [0] * self.num_shards
@@ -55,6 +61,29 @@ class EngineMetrics:
 
     def record_table_swap(self) -> None:
         self.table_swaps += 1
+
+    def record_worker_restart(self) -> None:
+        """A worker pool was terminated and will be rebuilt."""
+        self.worker_restarts += 1
+
+    def record_retry(self) -> None:
+        """A failed chunk was re-dispatched."""
+        self.chunk_retries += 1
+
+    def record_quarantine(self, entries: int) -> None:
+        """A chunk exhausted its retries and went to the dead-letter
+        file; ``entries`` requests are excluded from the run's output."""
+        self.chunks_quarantined += 1
+        self.entries_quarantined += entries
+
+    def record_checkpoint_rewrite(self) -> None:
+        """A just-written checkpoint failed read-back verification and
+        was written again."""
+        self.checkpoint_rewrites += 1
+
+    def record_degraded(self) -> None:
+        """The run fell back to inline (single-process) ingestion."""
+        self.degraded = True
 
     # -- derived figures -------------------------------------------------
 
@@ -90,6 +119,12 @@ class EngineMetrics:
             "malformed_skipped": self.malformed_skipped,
             "checkpoints_written": self.checkpoints_written,
             "table_swaps": self.table_swaps,
+            "worker_restarts": self.worker_restarts,
+            "chunk_retries": self.chunk_retries,
+            "chunks_quarantined": self.chunks_quarantined,
+            "entries_quarantined": self.entries_quarantined,
+            "checkpoint_rewrites": self.checkpoint_rewrites,
+            "degraded": int(self.degraded),
             "num_shards": self.num_shards,
             "total_seconds": self.total_seconds,
             "mean_batch_seconds": self.mean_batch_seconds,
@@ -109,6 +144,12 @@ class EngineMetrics:
             "malformed_skipped",
             "checkpoints_written",
             "table_swaps",
+            "worker_restarts",
+            "chunk_retries",
+            "chunks_quarantined",
+            "entries_quarantined",
+            "checkpoint_rewrites",
+            "degraded",
             "num_shards",
         ):
             rows.append([key, format_count(int(snap[key]))])

@@ -15,6 +15,15 @@ scheduling, and identical to the single-pass
 With ``num_shards=1`` (or ``use_processes=False``) everything runs
 inline in the calling process — same code path, no pool — which is the
 mode tests use for speed and the CLI uses by default.
+
+Failure containment: a dispatched chunk is merged only after *every*
+shard's partial returned, so any worker failure — exception, hard
+death, hang past ``dispatch_timeout`` — leaves the engine's state
+exactly as it was before the chunk, the pool is terminated (no orphaned
+workers), and the driver sees a single
+:class:`~repro.errors.WorkerCrashError`.  Re-dispatching the same chunk
+is therefore always safe; :class:`~repro.engine.supervisor.SupervisedEngine`
+builds its retry/quarantine/degrade loop on that guarantee.
 """
 
 from __future__ import annotations
@@ -30,6 +39,12 @@ from repro.core.clustering import ClusterSet
 from repro.engine.metrics import EngineMetrics
 from repro.engine.packed import PackedLpm
 from repro.engine.state import ClusterStore, read_checkpoint, write_checkpoint
+from repro.errors import WorkerCrashError
+from repro.faults import (
+    SITE_WORKER_SLOW,
+    FaultInjector,
+    execute_worker_directive,
+)
 
 __all__ = ["shard_of", "EngineConfig", "ShardedClusterEngine"]
 
@@ -49,23 +64,41 @@ def shard_of(address: int, num_shards: int) -> int:
 
 @dataclass
 class EngineConfig:
-    """Tunables for one engine run."""
+    """Tunables for one engine run.
+
+    ``dispatch_timeout`` bounds how long one dispatched chunk may take
+    end to end; a pool that blows past it is presumed dead (a worker
+    killed mid-task leaves ``Pool.map`` waiting forever — the hang this
+    PR's issue describes) and the dispatch fails with
+    :class:`~repro.errors.WorkerCrashError` instead.  ``None`` waits
+    forever, which is only safe without fault injection and with
+    trustworthy workers.
+    """
 
     num_shards: int = 1
     chunk_size: int = 8192
     use_processes: bool = True
     name: str = "engine"
+    dispatch_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
             raise ValueError(f"num_shards must be >= 1: {self.num_shards!r}")
         if self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1: {self.chunk_size!r}")
+        if self.dispatch_timeout is not None and self.dispatch_timeout <= 0:
+            raise ValueError(
+                f"dispatch_timeout must be positive: {self.dispatch_timeout!r}"
+            )
 
 
 # -- worker side ----------------------------------------------------------
 
 _WORKER_TABLE: Optional[PackedLpm] = None
+
+#: A worker job: the shard's batch plus an optional armed fault
+#: directive (``(shard, site, arg)``) the driver decided on dispatch.
+_WorkerJob = Tuple[Sequence[Triple], Optional[Tuple[int, str, float]]]
 
 
 def _init_worker(table: PackedLpm) -> None:
@@ -73,8 +106,11 @@ def _init_worker(table: PackedLpm) -> None:
     _WORKER_TABLE = table
 
 
-def _process_batch(triples: Sequence[Triple]) -> ClusterStore:
+def _process_batch(job: _WorkerJob) -> ClusterStore:
     assert _WORKER_TABLE is not None, "worker pool not initialised"
+    triples, directive = job
+    if directive is not None:
+        execute_worker_directive(directive)
     store = ClusterStore()
     store.apply_batch(triples, _WORKER_TABLE)
     return store
@@ -102,10 +138,14 @@ class ShardedClusterEngine:
         table: PackedLpm,
         config: Optional[EngineConfig] = None,
         metrics: Optional[EngineMetrics] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self.table = table
         self.config = config or EngineConfig()
         self.metrics = metrics or EngineMetrics(self.config.num_shards)
+        #: Optional fault injector (chaos testing); ``None`` — the
+        #: default — costs one comparison per dispatched chunk.
+        self.injector = injector
         self._stores: List[ClusterStore] = [
             ClusterStore() for _ in range(self.config.num_shards)
         ]
@@ -120,14 +160,33 @@ class ShardedClusterEngine:
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
-        self.close()
+        # On an exception the pool may hold hung or half-dead workers:
+        # a graceful close()+join() would wait on them forever, which is
+        # exactly the orphaned-worker leak this guards against.
+        self.close(terminate=exc_info and exc_info[0] is not None)
 
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+    def close(self, terminate: bool = False) -> None:
+        """Shut the worker pool down (idempotent).
+
+        ``terminate`` kills workers instead of draining them — the only
+        safe shutdown after a dispatch failure, when workers may be
+        wedged mid-task.
+        """
         if self._pool is not None:
-            self._pool.close()
+            if terminate:
+                self._pool.terminate()
+            else:
+                self._pool.close()
             self._pool.join()
             self._pool = None
+
+    def terminate_pool(self) -> None:
+        """Kill and discard the worker pool; the next dispatch builds a
+        fresh one.  Used after a worker crash/hang, and counted in
+        ``metrics.worker_restarts``."""
+        if self._pool is not None:
+            self.close(terminate=True)
+            self.metrics.record_worker_restart()
 
     @property
     def _parallel(self) -> bool:
@@ -168,27 +227,106 @@ class ShardedClusterEngine:
             [(entry.client, entry.url, entry.size) for entry in chunk]
         )
 
+    def apply_chunk(self, triples: Sequence[Triple]) -> int:
+        """Apply one chunk of triples, all-or-nothing.
+
+        This is the engine's atomic unit of progress: on success every
+        shard's partial has merged; on any failure — a worker exception,
+        a dead worker, a hang past ``config.dispatch_timeout`` — *no*
+        state was merged, the pool has been terminated, and the call
+        raises :class:`WorkerCrashError`.  Re-applying the same chunk
+        after a failure can therefore never double-count.
+        """
+        return self._dispatch(triples)
+
     def _dispatch(self, triples: Sequence[Triple]) -> int:
         num_shards = self.config.num_shards
+        directive = None
+        if self.injector is not None:
+            directive = self.injector.worker_directive(num_shards)
         began = time.perf_counter()
-        if num_shards == 1:
-            self._stores[0].apply_batch(triples, self.table)
-            counts = [len(triples)]
-        else:
-            batches: List[List[Triple]] = [[] for _ in range(num_shards)]
-            for triple in triples:
-                batches[shard_of(triple[0], num_shards)].append(triple)
-            counts = [len(batch) for batch in batches]
-            if self._parallel:
-                partials = self._ensure_pool().map(_process_batch, batches)
-                for shard, partial in enumerate(partials):
-                    self._stores[shard].merge(partial)
+        if num_shards == 1 or not self._parallel:
+            if directive is not None:
+                self._execute_inline_directive(directive)
+            if num_shards == 1:
+                self._stores[0].apply_batch(triples, self.table)
+                counts = [len(triples)]
             else:
+                batches = self._partition(triples, num_shards)
+                counts = [len(batch) for batch in batches]
                 for shard, batch in enumerate(batches):
                     self._stores[shard].apply_batch(batch, self.table)
+        else:
+            batches = self._partition(triples, num_shards)
+            counts = [len(batch) for batch in batches]
+            jobs: List[_WorkerJob] = [
+                (
+                    batch,
+                    directive
+                    if directive is not None and directive[0] == shard
+                    else None,
+                )
+                for shard, batch in enumerate(batches)
+            ]
+            partials = self._dispatch_to_pool(jobs)
+            for shard, partial in enumerate(partials):
+                self._stores[shard].merge(partial)
         elapsed = time.perf_counter() - began
         self.metrics.record_batch(counts, elapsed, lookups=len(triples))
         return len(triples)
+
+    @staticmethod
+    def _partition(
+        triples: Sequence[Triple], num_shards: int
+    ) -> List[List[Triple]]:
+        batches: List[List[Triple]] = [[] for _ in range(num_shards)]
+        for triple in triples:
+            batches[shard_of(triple[0], num_shards)].append(triple)
+        return batches
+
+    def _dispatch_to_pool(self, jobs: List[_WorkerJob]) -> List[ClusterStore]:
+        """One pool round-trip with dead/hung-worker containment.
+
+        ``map_async`` + a bounded ``get`` instead of ``map``: a worker
+        that hard-exits leaves its task permanently incomplete, so a
+        plain ``map`` would block forever.  Every failure path
+        terminates the pool (workers may be wedged) before raising.
+        """
+        pool = self._ensure_pool()
+        pending = pool.map_async(_process_batch, jobs)
+        try:
+            return pending.get(self.config.dispatch_timeout)
+        except multiprocessing.TimeoutError as exc:
+            self.terminate_pool()
+            raise WorkerCrashError(
+                f"chunk dispatch exceeded dispatch_timeout="
+                f"{self.config.dispatch_timeout}s; a worker is hung or "
+                "died mid-task — pool terminated, chunk not applied"
+            ) from exc
+        except Exception as exc:
+            self.terminate_pool()
+            raise WorkerCrashError(
+                f"worker failed while processing a chunk ({exc!r}) — "
+                "pool terminated, chunk not applied"
+            ) from exc
+
+    def _execute_inline_directive(
+        self, directive: Tuple[int, str, float]
+    ) -> None:
+        """Honour an armed worker fault without a pool.
+
+        Inline mode cannot survive a literal ``os._exit``, so
+        ``worker.die`` degrades to the same clean failure as
+        ``worker.crash`` — raised *before* any state is touched, keeping
+        the chunk atomic.  ``worker.slow`` just sleeps.
+        """
+        _, site, arg = directive
+        if site == SITE_WORKER_SLOW:
+            time.sleep(arg)
+            return
+        raise WorkerCrashError(
+            f"injected inline worker fault ({site}) — chunk not applied"
+        )
 
     # -- adaptation ------------------------------------------------------
 
@@ -250,6 +388,7 @@ class ShardedClusterEngine:
         config: Optional[EngineConfig] = None,
         metrics: Optional[EngineMetrics] = None,
         verify_table: bool = True,
+        injector: Optional[FaultInjector] = None,
     ) -> "ShardedClusterEngine":
         """Rebuild an engine from a checkpoint and keep ingesting.
 
@@ -278,7 +417,7 @@ class ShardedClusterEngine:
                 chunk_size=int(meta.get("chunk_size", 8192) or 8192),
                 name=str(meta.get("name", "engine")),
             )
-        engine = cls(table, config, metrics)
+        engine = cls(table, config, metrics, injector=injector)
         if len(stores) == config.num_shards:
             engine._stores = stores
         else:

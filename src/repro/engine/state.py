@@ -19,42 +19,62 @@ Checkpoints are a versioned on-disk format (:func:`write_checkpoint` /
 a fresh process and continue feeding batches; the final snapshot is
 identical to an uninterrupted run.
 
+Writes are atomic and checksummed: the document is serialised in
+memory, written to a temp file in the target directory, fsynced, and
+``os.replace``d over the destination — so a crash at any instant leaves
+either the previous checkpoint or the new one, never a torn file.  The
+on-disk envelope carries a CRC32 of the pickled payload; the payload is
+only unpickled after the checksum verifies, and damage raises
+:class:`~repro.errors.CheckpointCorruptError` (version skew raises
+:class:`~repro.errors.CheckpointVersionError` — a distinct, intact-file
+condition).
+
 .. warning::
-   The checkpoint payload is a pickle.  Unpickling executes code
-   chosen by whoever wrote the file, so the magic/version/digest
-   checks authenticate *nothing* — they run after the payload has
-   already been deserialised.  Only restore checkpoints you wrote
-   yourself on a filesystem you trust; never load one received over
-   the network.
+   The checkpoint payload is a pickle.  The CRC and magic/version
+   checks catch *accidents* (torn writes, bad disks, stale files) —
+   they authenticate nothing, and a crafted envelope with a valid CRC
+   still executes whatever its payload pickles into.  Only restore
+   checkpoints you wrote yourself on a filesystem you trust; never
+   load one received over the network.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.clustering import Cluster, ClusterSet
 from repro.engine.packed import PackedLpm
+from repro.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointTableMismatchError,
+    CheckpointVersionError,
+)
 from repro.net.prefix import Prefix
 
 __all__ = [
     "ClusterStore",
     "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "CheckpointTableMismatchError",
     "write_checkpoint",
     "read_checkpoint",
+    "serialize_checkpoint",
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
 ]
 
 #: File-format identity and version; bump the version whenever the
 #: pickled payload layout changes so stale checkpoints fail loudly.
+#: Version 2 wraps the payload in a CRC32-checked envelope.
 CHECKPOINT_MAGIC = "repro.engine.checkpoint"
-CHECKPOINT_VERSION = 1
-
-
-class CheckpointError(RuntimeError):
-    """A checkpoint file is missing, foreign, or from another version."""
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
@@ -245,27 +265,83 @@ class ClusterStore:
         return stores[0]
 
 
+def serialize_checkpoint(
+    stores: Sequence[ClusterStore],
+    table_digest: str = "",
+    meta: Optional[Dict[str, Any]] = None,
+) -> bytes:
+    """Serialise shard ``stores`` into the on-disk envelope bytes.
+
+    The envelope is a pickled dict of plain types — magic, version, a
+    CRC32, and the payload as an opaque ``bytes`` field — so a reader
+    can validate identity, version, and integrity *before* unpickling
+    any engine state.
+    """
+    payload = pickle.dumps(
+        {
+            "table_digest": table_digest,
+            "meta": dict(meta or {}),
+            "shards": [store._payload() for store in stores],
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    envelope = {
+        "magic": CHECKPOINT_MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "crc32": zlib.crc32(payload),
+        "payload": payload,
+    }
+    return pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _write_atomic(path: str, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` so readers see old-or-new, never torn.
+
+    temp file in the same directory → flush → fsync → ``os.replace``.
+    A crash before the replace leaves the previous file untouched (the
+    orphaned ``.tmp`` is removed on the next successful write's error
+    path or by the operator); a crash after is a completed write.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        # Durability for the rename itself; not available everywhere.
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
+
+
 def write_checkpoint(
     path: str,
     stores: Sequence[ClusterStore],
     table_digest: str = "",
     meta: Optional[Dict[str, Any]] = None,
 ) -> None:
-    """Write shard ``stores`` to ``path`` in the versioned format.
+    """Atomically write shard ``stores`` to ``path``.
 
     ``table_digest`` (see :meth:`PackedLpm.digest`) records which prefix
     set the accumulated lookups were resolved against; a restore that
     supplies a digest refuses to resume against a different table.
     """
-    document = {
-        "magic": CHECKPOINT_MAGIC,
-        "version": CHECKPOINT_VERSION,
-        "table_digest": table_digest,
-        "meta": dict(meta or {}),
-        "shards": [store._payload() for store in stores],
-    }
-    with open(path, "wb") as handle:
-        pickle.dump(document, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    _write_atomic(path, serialize_checkpoint(stores, table_digest, meta))
 
 
 def read_checkpoint(
@@ -273,36 +349,70 @@ def read_checkpoint(
 ) -> Tuple[List[ClusterStore], Dict[str, Any]]:
     """Load a checkpoint; returns ``(stores, meta)``.
 
-    Raises :class:`CheckpointError` for foreign files, version skew, or
-    (when ``table_digest`` is given) a routing-table mismatch.
+    The error taxonomy distinguishes what went wrong so callers can
+    react: :class:`CheckpointCorruptError` (truncated, bit-flipped, or
+    foreign bytes — rereading can never succeed),
+    :class:`CheckpointVersionError` (intact file, incompatible format
+    version), :class:`CheckpointTableMismatchError` (resumed against a
+    different routing table), and base :class:`CheckpointError` for a
+    file that cannot be opened at all.
 
     .. warning::
-       ``path`` is unpickled — a tampered checkpoint can execute
-       arbitrary code before any of the validation here runs.  The
-       checks guard against *accidents* (wrong file, stale version,
-       different table), not against malicious input; only load files
-       you trust (see the module docstring).
+       The CRC is an *integrity* check, not authentication — a crafted
+       file passes it and its payload is then unpickled, executing
+       whatever it contains.  Only load files you trust (see the
+       module docstring).
     """
     try:
         with open(path, "rb") as handle:
-            document = pickle.load(handle)
-    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raw = handle.read()
+    except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
-    if not isinstance(document, dict) or document.get("magic") != CHECKPOINT_MAGIC:
-        raise CheckpointError(f"{path!r} is not a repro.engine checkpoint")
-    version = document.get("version")
+    try:
+        envelope = pickle.loads(raw)
+    except Exception as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} is corrupt or truncated "
+            f"(envelope does not decode: {exc})"
+        ) from exc
+    if not isinstance(envelope, dict) or envelope.get("magic") != CHECKPOINT_MAGIC:
+        raise CheckpointCorruptError(
+            f"{path!r} is not a repro.engine checkpoint"
+        )
+    version = envelope.get("version")
     if version != CHECKPOINT_VERSION:
-        raise CheckpointError(
+        raise CheckpointVersionError(
             f"checkpoint version {version!r} unsupported "
             f"(this build reads version {CHECKPOINT_VERSION})"
         )
-    stored_digest = document.get("table_digest", "")
+    payload = envelope.get("payload")
+    if not isinstance(payload, bytes):
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} is corrupt: envelope carries no payload"
+        )
+    if zlib.crc32(payload) != envelope.get("crc32"):
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} is corrupt: payload CRC32 mismatch "
+            "(truncated write or bit rot) — restore from an older "
+            "checkpoint or rerun without --resume"
+        )
+    try:
+        document = pickle.loads(payload)
+        stores = [
+            ClusterStore._from_payload(part) for part in document["shards"]
+        ]
+        meta = document.get("meta", {})
+        stored_digest = document.get("table_digest", "")
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} payload does not decode despite a valid "
+            f"CRC ({exc}) — the file was not written by this code"
+        ) from exc
     if table_digest and stored_digest and stored_digest != table_digest:
-        raise CheckpointError(
+        raise CheckpointTableMismatchError(
             "checkpoint was taken against a different routing table "
             f"(stored digest {stored_digest[:12]}…, current {table_digest[:12]}…)"
         )
-    stores = [
-        ClusterStore._from_payload(payload) for payload in document["shards"]
-    ]
-    return stores, document.get("meta", {})
+    return stores, meta

@@ -1,0 +1,120 @@
+"""The structured error taxonomy for pipeline robustness.
+
+The ingestion pipeline distinguishes three broad failure families, and
+the recovery machinery (:mod:`repro.engine.supervisor`) keys off the
+*class*, not the message:
+
+* **Persistent-state failures** — a checkpoint file that is truncated,
+  bit-flipped, foreign, or from an incompatible format version.  These
+  subclass :class:`CheckpointError`; :class:`CheckpointCorruptError`
+  means the bytes on disk are damaged (retryable by rewriting, never by
+  rereading), while :class:`CheckpointVersionError` means the file is
+  intact but this build cannot read it (not retryable at all — the
+  operator must migrate or discard it).
+* **Worker failures** — a shard worker raised, was killed, or stopped
+  responding.  :class:`WorkerCrashError` is what the engine surfaces;
+  the supervisor retries the failed chunk with backoff and quarantines
+  it after ``max_retries`` (:class:`ChunkQuarantinedError` when
+  quarantining itself is disallowed).
+* **Dirty input** — malformed log or routing-dump lines.  These are
+  counted-and-skipped by default (see ``weblog.parser.ParseReport`` and
+  ``bgp.formats.DumpReport``); the guard classes here fire only when an
+  explicit ``max_errors`` budget is exhausted.
+
+:class:`DegradedModeWarning` is a :class:`UserWarning`, not an error:
+it marks the supervisor abandoning the worker pool and finishing the
+run inline — slower, but bit-for-bit the same output.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "CheckpointTableMismatchError",
+    "WorkerCrashError",
+    "ChunkQuarantinedError",
+    "SupervisionError",
+    "InjectedFault",
+    "DegradedModeWarning",
+]
+
+
+class ReproError(Exception):
+    """Base class for every structured error this package raises."""
+
+
+# -- persistent state ------------------------------------------------------
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file is missing, foreign, damaged, or unreadable.
+
+    Base of the checkpoint family: catching this catches every
+    checkpoint failure; catch the subclasses to react differently to
+    corruption versus version skew.  (Subclasses ``RuntimeError`` for
+    compatibility with pre-taxonomy callers.)
+    """
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The checkpoint's bytes are damaged: truncated, bit-flipped, or
+    not a checkpoint at all.  The file can never be read successfully;
+    recovery means rewriting it (or resuming from an older one)."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The checkpoint is intact but written by an incompatible format
+    version (older or newer than this build reads)."""
+
+
+class CheckpointTableMismatchError(CheckpointError):
+    """The checkpoint was taken against a different routing table than
+    the one the resume supplies."""
+
+
+# -- workers ---------------------------------------------------------------
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A shard worker died or raised while processing a batch.
+
+    The chunk that was in flight was *not* applied (per-chunk merges
+    are all-or-nothing), so re-dispatching it is always safe.
+    """
+
+
+class ChunkQuarantinedError(WorkerCrashError):
+    """A chunk exhausted its retry budget and quarantining is disabled
+    (``--no-degrade``-style strict runs)."""
+
+
+class SupervisionError(ReproError, RuntimeError):
+    """The supervisor cannot make progress at all: the pool keeps dying
+    and degraded (inline) fallback has been disallowed."""
+
+
+# -- fault injection -------------------------------------------------------
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """An artificial failure raised by :mod:`repro.faults`.
+
+    Deliberately *not* a subclass of :class:`WorkerCrashError`: recovery
+    code must classify it by injection site, exactly as it would a real
+    fault, and anything that escapes uncaught is a test failure.
+    """
+
+    def __init__(self, site: str, message: str = "") -> None:
+        super().__init__(message or f"injected fault at {site!r}")
+        self.site = site
+
+
+# -- warnings --------------------------------------------------------------
+
+
+class DegradedModeWarning(UserWarning):
+    """The supervisor gave up on the worker pool and is finishing the
+    run inline in the driver process (same output, reduced throughput)."""

@@ -6,7 +6,10 @@ from repro.bgp.formats import (
     FORMAT_CLASSFUL,
     FORMAT_DOTTED_NETMASK,
     FORMAT_MASK_LENGTH,
+    DumpLimitError,
+    DumpReport,
     detect_format,
+    iter_dump_routes,
     pad_dropped_zeroes,
     parse_entry,
     render_entry,
@@ -134,3 +137,73 @@ class TestUnify:
         prefix = Prefix.from_cidr("24.48.2.0/23")
         for fmt in (FORMAT_DOTTED_NETMASK, FORMAT_MASK_LENGTH):
             assert parse_entry(render_entry(prefix, fmt)) == prefix
+
+
+class TestIterDumpRoutes:
+    """Count-and-skip hygiene for dirty snapshots (§3.1.1 tolerance)."""
+
+    DIRTY = [
+        "# router dump header\n",
+        "\n",
+        "12.65.128.0/19\thop1\t7018\n",
+        "show ip bgp: connection refused\n",
+        "24.48.2.0/255.255.254.0 hop2 64500\n",
+        "   \n",
+        "999.999.999.999/8\n",
+        "151.198.194.0\n",
+    ]
+
+    def test_skips_and_counts_malformed_lines(self):
+        report = DumpReport()
+        routes = list(iter_dump_routes(self.DIRTY, report=report))
+        assert [str(prefix.cidr) for prefix, _ in routes] == [
+            "12.65.128.0/19", "24.48.2.0/23", "151.198.0.0/16",
+        ]
+        assert report.total_lines == len(self.DIRTY)
+        assert report.parsed == 3
+        assert report.malformed == 2
+        assert report.skipped == 3  # comment + two blank-ish lines
+
+    def test_fields_carry_next_hop_and_path(self):
+        (_, fields), = iter_dump_routes(["12.65.128.0/19\thop1\t7018\n"])
+        assert fields == ["12.65.128.0/19", "hop1", "7018"]
+
+    def test_max_errors_budget_trips(self):
+        with pytest.raises(DumpLimitError, match="max_errors=1"):
+            list(iter_dump_routes(self.DIRTY, max_errors=1))
+
+    def test_max_errors_zero_means_one_bad_line_is_fatal(self):
+        with pytest.raises(DumpLimitError):
+            list(iter_dump_routes(["garbage here\n"], max_errors=0))
+
+    def test_strict_reraises_first_error(self):
+        with pytest.raises((AddressError, ValueError)):
+            list(iter_dump_routes(self.DIRTY, strict=True))
+
+    def test_clean_dump_reports_no_damage(self):
+        report = DumpReport()
+        routes = list(iter_dump_routes(
+            ["10.0.0.0/8\n", "11.0.0.0/8\n"], report=report, max_errors=0
+        ))
+        assert len(routes) == 2
+        assert report.malformed == 0
+
+
+class TestRoutingTableFromDirtyLines:
+    def test_from_lines_tolerates_garbage_by_default(self):
+        from repro.bgp.table import RoutingTable
+
+        report = DumpReport()
+        table = RoutingTable.from_lines(
+            "dirty", TestIterDumpRoutes.DIRTY, report=report
+        )
+        assert len(table) == 3
+        assert report.malformed == 2
+
+    def test_from_lines_strict_still_raises(self):
+        from repro.bgp.table import RoutingTable
+
+        with pytest.raises((AddressError, ValueError)):
+            RoutingTable.from_lines(
+                "dirty", TestIterDumpRoutes.DIRTY, strict=True
+            )

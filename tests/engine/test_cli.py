@@ -164,3 +164,137 @@ class TestCheckpointFlow:
         # Two mid-run checkpoints (after each 2-entry chunk) + the final.
         assert "checkpoints_written" in out
         assert "checkpoint written" in out
+
+
+class TestFaultFlags:
+    """The robustness surface: --inject, --quarantine, corrupt --resume."""
+
+    def test_corrupt_checkpoint_fails_resume_with_actionable_error(
+        self, tmp_path, files, capsys
+    ):
+        log, dump = files
+        ckpt = str(tmp_path / "run.ckpt")
+        assert main([log, "--table", dump, "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        # Flip one payload byte: the CRC must catch it on resume.
+        blob = bytearray(open(ckpt, "rb").read())
+        blob[-5] ^= 0xFF
+        with open(ckpt, "wb") as handle:
+            handle.write(bytes(blob))
+        assert main([log, "--table", dump, "--checkpoint", ckpt,
+                     "--resume"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot resume" in err
+        assert "corrupt" in err
+        assert "restore from an older checkpoint" in err
+
+    def test_truncated_checkpoint_fails_resume(self, tmp_path, files,
+                                               capsys):
+        log, dump = files
+        ckpt = str(tmp_path / "run.ckpt")
+        assert main([log, "--table", dump, "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        blob = open(ckpt, "rb").read()
+        with open(ckpt, "wb") as handle:
+            handle.write(blob[: len(blob) // 3])
+        assert main([log, "--table", dump, "--checkpoint", ckpt,
+                     "--resume"]) == 1
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_inject_plan_is_loaded_and_survived(self, tmp_path, files,
+                                                capsys):
+        from repro.faults import (
+            SITE_WORKER_CRASH,
+            FaultPlan,
+            FaultSpec,
+        )
+
+        log, dump = files
+        plan_path = str(tmp_path / "plan.json")
+        FaultPlan.build(
+            FaultSpec(site=SITE_WORKER_CRASH, at=0, count=1), seed=3
+        ).save(plan_path)
+        # Inline engine (1 shard): the injected crash is retried and the
+        # run completes with the same table an undisturbed run prints.
+        assert main([log, "--table", dump]) == 0
+        undisturbed = _cluster_table(capsys.readouterr().out)
+        assert main([log, "--table", dump, "--inject", plan_path,
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "fault injection armed" in out
+        assert "worker.crash" in out
+        assert "chunk_retries" in out
+        # Compare only the cluster table; the metrics block rightly
+        # differs (it records the retry).
+        table_only = out[: out.index("engine metrics")]
+        assert _cluster_table(table_only).strip() == undisturbed.strip()
+
+    def test_quarantine_reports_loss(self, tmp_path, files, capsys):
+        from repro.faults import (
+            SITE_WORKER_CRASH,
+            FaultPlan,
+            FaultSpec,
+        )
+
+        log, dump = files
+        plan_path = str(tmp_path / "plan.json")
+        dead_letter = str(tmp_path / "dead.jsonl")
+        FaultPlan.build(
+            FaultSpec(site=SITE_WORKER_CRASH, at=0, count=-1), seed=3
+        ).save(plan_path)
+        code = main([log, "--table", dump, "--inject", plan_path,
+                     "--retries", "1", "--backoff", "0", "--no-degrade",
+                     "--quarantine", dead_letter])
+        err = capsys.readouterr().err
+        # Every chunk quarantined → nothing ingested → exit 1, but the
+        # loss is accounted, not silent.
+        assert code == 1
+        assert "quarantined" in err
+        assert open(dead_letter).read().count("\n") >= 1
+
+    def test_log_truncation_fault_shrinks_the_run(self, tmp_path, files,
+                                                  capsys):
+        from repro.faults import (
+            SITE_LOG_TRUNCATE,
+            FaultPlan,
+            FaultSpec,
+        )
+
+        log, dump = files
+        plan_path = str(tmp_path / "plan.json")
+        FaultPlan.build(
+            FaultSpec(site=SITE_LOG_TRUNCATE, arg=2), seed=3
+        ).save(plan_path)
+        assert main([log, "--table", dump, "--inject", plan_path]) == 0
+        assert "parsed 2" in capsys.readouterr().out
+
+    def test_quarantined_chunk_does_not_shift_resume_accounting(
+        self, tmp_path, files, capsys
+    ):
+        """Positional accounting: checkpoint meta counts consumed
+        entries, so a quarantined chunk is not replayed on --resume."""
+        from repro.faults import (
+            SITE_WORKER_CRASH,
+            FaultPlan,
+            FaultSpec,
+        )
+
+        log, dump = files
+        ckpt = str(tmp_path / "run.ckpt")
+        plan_path = str(tmp_path / "plan.json")
+        # Poison only the first 2-entry chunk; chunks 2.. apply fine.
+        FaultPlan.build(
+            FaultSpec(site=SITE_WORKER_CRASH, at=0, count=2), seed=3
+        ).save(plan_path)
+        assert main([log, "--table", dump, "--chunk-size", "2",
+                     "--inject", plan_path, "--retries", "1",
+                     "--backoff", "0", "--no-degrade",
+                     "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        # All 4 parsed entries were *consumed* (2 quarantined, 2
+        # applied): resume must skip all 4 and re-ingest nothing.
+        assert main([log, "--table", dump, "--checkpoint", ckpt,
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries already ingested" in out
+        assert "skipping the first 4 entries" in out

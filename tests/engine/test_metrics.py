@@ -48,9 +48,27 @@ class TestExport:
         assert set(snap) == {
             "entries", "lookups", "batches", "malformed_skipped",
             "checkpoints_written", "table_swaps", "num_shards",
+            "worker_restarts", "chunk_retries", "chunks_quarantined",
+            "entries_quarantined", "checkpoint_rewrites", "degraded",
             "total_seconds", "mean_batch_seconds", "max_batch_seconds",
             "entries_per_second", "shard_skew",
         }
+
+    def test_fault_counters(self):
+        metrics = EngineMetrics(2)
+        metrics.record_worker_restart()
+        metrics.record_retry()
+        metrics.record_retry()
+        metrics.record_quarantine(entries=512)
+        metrics.record_checkpoint_rewrite()
+        metrics.record_degraded()
+        snap = metrics.snapshot()
+        assert snap["worker_restarts"] == 1
+        assert snap["chunk_retries"] == 2
+        assert snap["chunks_quarantined"] == 1
+        assert snap["entries_quarantined"] == 512
+        assert snap["checkpoint_rewrites"] == 1
+        assert snap["degraded"] == 1
 
     def test_render_is_a_table(self):
         metrics = EngineMetrics(2)

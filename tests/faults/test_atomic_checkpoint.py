@@ -1,0 +1,203 @@
+"""Atomic, checksummed checkpoints under deliberate damage.
+
+The acceptance bar: a kill-9-style interruption at *any* point of a
+checkpoint write never leaves a file ``read_checkpoint`` accepts — the
+reader sees the previous checkpoint or the new one, nothing in between
+— and every flavour of on-disk damage maps to a specific error class.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.engine.state import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointTableMismatchError,
+    CheckpointVersionError,
+    ClusterStore,
+    read_checkpoint,
+    serialize_checkpoint,
+    write_checkpoint,
+)
+from repro.engine.packed import PackedLpm
+from repro.net.prefix import Prefix
+
+
+@pytest.fixture()
+def store():
+    table = PackedLpm.from_items(
+        [(Prefix.from_cidr("10.0.0.0/8"), None)]
+    )
+    built = ClusterStore()
+    built.apply_batch(
+        [(0x0A000001, "/a", 100), (0x0A000002, "/b", 200)], table
+    )
+    return built
+
+
+@pytest.fixture()
+def ckpt(tmp_path, store):
+    path = str(tmp_path / "state.ckpt")
+    write_checkpoint(path, [store], table_digest="digest-a")
+    return path
+
+
+class TestDamageTaxonomy:
+    def test_intact_file_round_trips(self, ckpt, store):
+        stores, _ = read_checkpoint(ckpt, table_digest="digest-a")
+        assert len(stores) == 1
+        assert stores[0].entries_applied == store.entries_applied
+
+    def test_truncated_file_is_corrupt(self, ckpt):
+        blob = open(ckpt, "rb").read()
+        with open(ckpt, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(ckpt)
+
+    def test_bit_flip_in_payload_is_corrupt(self, ckpt):
+        blob = bytearray(open(ckpt, "rb").read())
+        blob[-10] ^= 0xFF
+        with open(ckpt, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(CheckpointCorruptError, match="CRC32|corrupt"):
+            read_checkpoint(ckpt)
+
+    def test_corrupt_message_is_actionable(self, ckpt, store):
+        payload = serialize_checkpoint([store])
+        envelope = pickle.loads(payload)
+        envelope["crc32"] ^= 1
+        with open(ckpt, "wb") as handle:
+            pickle.dump(envelope, handle)
+        with pytest.raises(
+            CheckpointCorruptError, match="restore from an older checkpoint"
+        ):
+            read_checkpoint(ckpt)
+
+    def test_foreign_pickle_is_not_a_checkpoint(self, ckpt):
+        with open(ckpt, "wb") as handle:
+            pickle.dump({"magic": "some.other.format"}, handle)
+        with pytest.raises(
+            CheckpointCorruptError, match="not a repro.engine checkpoint"
+        ):
+            read_checkpoint(ckpt)
+
+    def test_non_pickle_bytes_are_corrupt(self, ckpt):
+        with open(ckpt, "wb") as handle:
+            handle.write(b"\x00garbage that is not a pickle at all")
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(ckpt)
+
+    def test_future_version_is_version_error_not_corrupt(self, ckpt, store):
+        envelope = pickle.loads(serialize_checkpoint([store]))
+        envelope["version"] = CHECKPOINT_VERSION + 7
+        with open(ckpt, "wb") as handle:
+            pickle.dump(envelope, handle)
+        with pytest.raises(CheckpointVersionError, match="version"):
+            read_checkpoint(ckpt)
+
+    def test_missing_payload_is_corrupt(self, ckpt):
+        with open(ckpt, "wb") as handle:
+            pickle.dump(
+                {"magic": CHECKPOINT_MAGIC, "version": CHECKPOINT_VERSION},
+                handle,
+            )
+        with pytest.raises(CheckpointCorruptError, match="no payload"):
+            read_checkpoint(ckpt)
+
+    def test_table_mismatch_is_distinct(self, ckpt):
+        with pytest.raises(
+            CheckpointTableMismatchError, match="different routing table"
+        ):
+            read_checkpoint(ckpt, table_digest="digest-b")
+
+    def test_missing_file_is_base_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_checkpoint(str(tmp_path / "absent.ckpt"))
+
+    def test_taxonomy_is_a_hierarchy(self):
+        # Callers catching the base class see every flavour.
+        for cls in (
+            CheckpointCorruptError,
+            CheckpointVersionError,
+            CheckpointTableMismatchError,
+        ):
+            assert issubclass(cls, CheckpointError)
+
+
+class TestInterruptedWrite:
+    """Simulated kill-9 at every stage of the write path."""
+
+    def test_crash_before_replace_leaves_previous_checkpoint(
+        self, ckpt, store, monkeypatch
+    ):
+        before = open(ckpt, "rb").read()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated power loss before rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="power loss"):
+            write_checkpoint(ckpt, [store], table_digest="digest-a")
+        monkeypatch.undo()
+        # The destination still holds the previous, fully-valid bytes.
+        assert open(ckpt, "rb").read() == before
+        read_checkpoint(ckpt, table_digest="digest-a")
+
+    def test_failed_write_cleans_its_temp_file(self, tmp_path, store,
+                                               monkeypatch):
+        target = tmp_path / "state.ckpt"
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            write_checkpoint(str(target), [store])
+        monkeypatch.undo()
+        leftovers = list(tmp_path.iterdir())
+        assert leftovers == []  # no orphaned .tmp, no torn target
+
+    def test_no_partial_file_is_ever_acceptable(self, tmp_path, store):
+        """Every strict prefix of the on-disk bytes must be rejected.
+
+        This is the strong form of the atomicity claim: even if the
+        filesystem exposed a half-written temp file, no truncation
+        point yields something ``read_checkpoint`` accepts.
+        """
+        path = str(tmp_path / "state.ckpt")
+        write_checkpoint(path, [store], table_digest="digest-a")
+        blob = open(path, "rb").read()
+        partial = str(tmp_path / "partial.ckpt")
+        # Sample prefixes densely at the tail (where the CRC field and
+        # payload live) and sparsely elsewhere to keep the test quick.
+        cuts = set(range(0, len(blob), max(1, len(blob) // 64)))
+        cuts.update(range(max(0, len(blob) - 32), len(blob)))
+        for cut in sorted(cuts):
+            with open(partial, "wb") as handle:
+                handle.write(blob[:cut])
+            with pytest.raises(CheckpointError):
+                read_checkpoint(partial)
+
+    def test_write_is_write_then_rename(self, tmp_path, store, monkeypatch):
+        """The destination is only ever touched by os.replace."""
+        target = tmp_path / "state.ckpt"
+        replaced = []
+        real_replace = os.replace
+
+        def spying_replace(src, dst):
+            # At replace time the temp file is complete and valid.
+            assert os.path.getsize(src) > 0
+            read_checkpoint(src)
+            replaced.append((src, dst))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spying_replace)
+        write_checkpoint(str(target), [store])
+        assert len(replaced) == 1
+        assert replaced[0][1] == str(target)
+        assert os.path.dirname(replaced[0][0]) == str(tmp_path)

@@ -1,0 +1,177 @@
+"""Chaos acceptance: disturbed runs produce undisturbed output.
+
+The bar from the issue: a supervised run over the Nagano preset with a
+real process pool, at least two injected worker crashes, and one
+corrupted checkpoint must finish with output identical to single-pass
+``cluster_log`` — and the disturbance must be visible in the metrics,
+not silently absorbed.
+
+Every plan here is seeded and deterministic: a failing run replays
+exactly by re-running the test.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.clustering import cluster_log
+from repro.engine import (
+    EngineConfig,
+    PackedLpm,
+    ShardedClusterEngine,
+    SupervisedEngine,
+    SupervisorConfig,
+)
+from repro.engine.state import read_checkpoint
+from repro.errors import DegradedModeWarning
+from repro.faults import (
+    SITE_CHECKPOINT_CORRUPT,
+    SITE_WORKER_CRASH,
+    SITE_WORKER_DIE,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+
+CHUNK = 4096
+SEED = 1998  # Nagano, naturally
+
+
+def _signature(cluster_set):
+    return {
+        (c.identifier, tuple(c.clients), c.requests, c.unique_urls,
+         c.total_bytes, c.source_kind, c.source_name)
+        for c in cluster_set.clusters
+    }
+
+
+@pytest.fixture(scope="module")
+def packed(merged_table):
+    return PackedLpm.from_merged(merged_table)
+
+
+@pytest.fixture(scope="module")
+def baseline(nagano_log, merged_table):
+    return _signature(cluster_log(nagano_log.log, merged_table))
+
+
+def _supervised(packed, plan, shards=2, timeout=None, **policy):
+    config = EngineConfig(
+        num_shards=shards, chunk_size=CHUNK, dispatch_timeout=timeout
+    )
+    engine = ShardedClusterEngine(packed, config, injector=FaultInjector(plan))
+    options = dict(max_retries=3, backoff_base=0)
+    options.update(policy)
+    return SupervisedEngine(engine, SupervisorConfig(**options))
+
+
+class TestDisturbedEquivalence:
+    def test_crashes_and_corrupt_checkpoint_do_not_change_output(
+        self, nagano_log, packed, baseline, tmp_path
+    ):
+        """The acceptance run: 2 worker crashes + 1 corrupted checkpoint."""
+        plan = FaultPlan.build(
+            FaultSpec(site=SITE_WORKER_CRASH, at=0, count=1),
+            FaultSpec(site=SITE_WORKER_CRASH, at=2, count=1),
+            FaultSpec(site=SITE_CHECKPOINT_CORRUPT, at=0, count=1),
+            seed=SEED,
+        )
+        entries = nagano_log.log.entries
+        half = len(entries) // 2
+        ckpt = str(tmp_path / "mid.ckpt")
+        with _supervised(packed, plan) as supervised:
+            supervised.ingest(entries[:half])
+            supervised.checkpoint(ckpt)  # damaged once, rewritten, verified
+            supervised.ingest(entries[half:])
+            result = supervised.snapshot(nagano_log.log.name)
+            snap = supervised.metrics.snapshot()
+
+        assert _signature(result) == baseline
+        # The disturbance really happened and was really recovered:
+        assert supervised.engine.injector.fired[SITE_WORKER_CRASH] == 2
+        assert supervised.engine.injector.fired[SITE_CHECKPOINT_CORRUPT] == 1
+        assert snap["chunk_retries"] == 2
+        assert snap["worker_restarts"] >= 2
+        assert snap["checkpoint_rewrites"] == 1
+        assert snap["chunks_quarantined"] == 0
+        assert snap["degraded"] == 0
+        # The mid-run checkpoint on disk is the verified rewrite.
+        stores, _ = read_checkpoint(ckpt, table_digest=packed.digest())
+        assert sum(s.entries_applied for s in stores) == half
+
+    def test_degraded_run_matches_baseline(
+        self, nagano_log, packed, baseline
+    ):
+        """Pool dies on every dispatch → inline fallback, same clusters."""
+        plan = FaultPlan.build(
+            FaultSpec(site=SITE_WORKER_CRASH, at=0, count=-1), seed=SEED
+        )
+        with _supervised(
+            packed, plan, max_retries=5, degrade_after=2
+        ) as supervised:
+            with pytest.warns(DegradedModeWarning):
+                supervised.ingest(nagano_log.log.entries)
+            result = supervised.snapshot(nagano_log.log.name)
+        assert supervised.degraded
+        assert _signature(result) == baseline
+
+    def test_hard_killed_worker_recovers_via_dispatch_timeout(
+        self, nagano_log, packed, baseline
+    ):
+        """worker.die is kill -9: only the timeout can detect it."""
+        plan = FaultPlan.build(
+            FaultSpec(site=SITE_WORKER_DIE, at=0, count=1), seed=SEED
+        )
+        with _supervised(packed, plan, timeout=15.0) as supervised:
+            supervised.ingest(nagano_log.log.entries)
+            result = supervised.snapshot(nagano_log.log.name)
+            snap = supervised.metrics.snapshot()
+        assert _signature(result) == baseline
+        assert snap["worker_restarts"] >= 1
+        assert snap["chunk_retries"] >= 1
+
+
+class TestChaosDeterminism:
+    def test_same_plan_same_fault_sequence(self, nagano_log, packed):
+        """Two runs of one plan disturb the same dispatches."""
+        def run():
+            plan = FaultPlan.build(
+                FaultSpec(site=SITE_WORKER_CRASH, at=1, count=2), seed=SEED
+            )
+            supervised = _supervised(packed, plan)
+            with supervised:
+                supervised.ingest(nagano_log.log.entries[:CHUNK * 4])
+            return (
+                dict(supervised.engine.injector.fired),
+                supervised.metrics.snapshot()["chunk_retries"],
+            )
+
+        assert run() == run()
+
+
+def test_pool_is_not_leaked_on_failure(packed, nagano_log):
+    """Satellite regression: a chunk failure terminates the pool.
+
+    Before the supervisor existed, an exception raised out of a
+    dispatch left the worker pool alive behind a dead engine.  Count
+    live children before and after a crashing, unretried ingest.
+    """
+    plan = FaultPlan.build(
+        FaultSpec(site=SITE_WORKER_CRASH, at=0, count=-1), seed=SEED
+    )
+    engine = ShardedClusterEngine(
+        packed,
+        EngineConfig(num_shards=2, chunk_size=CHUNK),
+        injector=FaultInjector(plan),
+    )
+    before = len(multiprocessing.active_children())
+    supervised = SupervisedEngine(
+        engine,
+        SupervisorConfig(
+            max_retries=0, backoff_base=0, allow_degraded=False
+        ),
+    )
+    with supervised:
+        supervised.ingest(nagano_log.log.entries[:CHUNK])
+    # Engine closed and every failed dispatch terminated its pool.
+    assert len(multiprocessing.active_children()) <= before
