@@ -86,6 +86,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine mode: abort when more than N malformed lines "
              "accumulate (default: skip-and-count forever)",
     )
+    parser.add_argument(
+        "--lpm", choices=("packed", "stride"), default="packed",
+        help="engine mode: LPM table layout (stride = direct-index "
+             "fast path; identical clusters; default packed)",
+    )
+    parser.add_argument(
+        "--memo-size", type=int, default=0, metavar="N",
+        help="engine mode: memoize up to N distinct client resolutions "
+             "(FIFO eviction; 0 = off; identical clusters)",
+    )
     return parser
 
 
@@ -158,20 +168,20 @@ def print_cluster_report(
 
 def _cluster_with_engine(args: argparse.Namespace) -> Optional[ClusterSet]:
     """Engine-mode pipeline: stream the log through sharded batches."""
-    from repro.engine import EngineConfig, PackedLpm, ShardedClusterEngine
+    from repro.engine import EngineConfig, ShardedClusterEngine, build_lpm_table
     from repro.weblog.parser import iter_clf_entries
 
     merged = load_tables(args.table)
     print(f"merged prefix table: {len(merged):,} entries "
           f"from {len(args.table)} dump(s)")
-    packed = PackedLpm.from_merged(merged)
+    table = build_lpm_table(args.lpm, merged, args.memo_size)
     config = EngineConfig(
         num_shards=args.shards,
         chunk_size=args.chunk_size,
         name=args.log,
     )
     report = ParseReport()
-    with ShardedClusterEngine(packed, config) as engine:
+    with ShardedClusterEngine(table, config) as engine:
         with open(args.log) as handle:
             try:
                 engine.ingest(
@@ -186,7 +196,7 @@ def _cluster_with_engine(args: argparse.Namespace) -> Optional[ClusterSet]:
             return ClusterSet(args.log, METHOD_NETWORK_AWARE, [])
         rate = engine.metrics.entries_per_second
         print(f"engine: {args.shards} shard(s), chunk {args.chunk_size:,}, "
-              f"{rate:,.0f} entries/sec")
+              f"{args.lpm} table, {rate:,.0f} entries/sec")
         return engine.snapshot()
 
 

@@ -9,6 +9,13 @@ wrong shape for throughput.  This package is the scale-out substrate:
   :class:`~repro.bgp.table.MergedPrefixTable` (or any radix tree) and
   shipped to workers as a single pickle; batch lookups run one binary
   search per address instead of one trie walk.
+* :mod:`repro.engine.fastpath` — the hot-path accelerators:
+  :class:`StrideLpm` (a stride-16 direct-index overlay on the packed
+  layout — most lookups are one array index), :class:`MemoizedLookup`
+  (a bounded exact-IP memo exploiting heavy-tailed client repetition),
+  and :class:`PackedBatch` (flat-buffer shard dispatch — IPC cost no
+  longer scales with per-entry object count).  Select with the CLIs'
+  ``--lpm {packed,stride}`` and ``--memo-size``.
 * :mod:`repro.engine.state` — :class:`ClusterStore`, the incremental,
   mergeable cluster accumulator with versioned checkpoint/restore.
 * :mod:`repro.engine.shard` — :class:`ShardedClusterEngine`, which
@@ -34,6 +41,13 @@ thresholding, placement, and the caching simulation run on engine
 output unchanged.
 """
 
+from repro.engine.fastpath import (
+    LPM_KINDS,
+    MemoizedLookup,
+    PackedBatch,
+    StrideLpm,
+    build_lpm_table,
+)
 from repro.engine.metrics import EngineMetrics
 from repro.engine.packed import PackedLpm
 from repro.engine.shard import EngineConfig, ShardedClusterEngine, shard_of
@@ -50,6 +64,11 @@ from repro.engine.supervisor import SupervisedEngine, SupervisorConfig
 
 __all__ = [
     "PackedLpm",
+    "StrideLpm",
+    "MemoizedLookup",
+    "PackedBatch",
+    "build_lpm_table",
+    "LPM_KINDS",
     "ClusterStore",
     "CheckpointError",
     "CheckpointCorruptError",

@@ -17,6 +17,14 @@ ingests all of it on top of the restored state (append mode).
 ``--metrics`` prints the engine's counters (entries/sec, batch
 latency, shard skew).
 
+``--lpm stride`` swaps the packed table's per-lookup binary search for
+a stride-16 direct index, and ``--memo-size N`` memoizes up to N
+distinct client resolutions in front of the table
+(:mod:`repro.engine.fastpath`); both are pure accelerations — cluster
+output is identical across every combination, fault plans included,
+and checkpoints resume across ``--lpm`` settings because all layouts
+share a prefix-set digest.
+
 Ingestion runs supervised (:mod:`repro.engine.supervisor`): failed
 chunks are retried with exponential backoff (``--retries``,
 ``--backoff``), chunks that keep failing are quarantined to a
@@ -40,6 +48,7 @@ import sys
 from typing import List, Optional
 
 from repro.cli import load_tables, print_cluster_report
+from repro.engine.fastpath import LPM_KINDS, build_lpm_table
 from repro.engine.metrics import EngineMetrics
 from repro.engine.packed import PackedLpm
 from repro.engine.shard import EngineConfig, ShardedClusterEngine
@@ -64,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--table", "-t", action="append", default=[], metavar="DUMP",
         help="routing-table dump file; repeatable; any §3.1.2 format",
+    )
+    parser.add_argument(
+        "--lpm", choices=LPM_KINDS, default="packed",
+        help="LPM table layout: 'packed' (binary search over the flat "
+             "interval array) or 'stride' (stride-16 direct index; "
+             "most lookups are one array read).  Identical clusters "
+             "either way (default packed)",
+    )
+    parser.add_argument(
+        "--memo-size", type=int, default=0, metavar="N",
+        help="memoize up to N distinct client resolutions in front of "
+             "the LPM table (FIFO eviction; 0 = off).  Web-log clients "
+             "repeat heavily, so most entries skip the LPM entirely; "
+             "clusters stay identical",
     )
     parser.add_argument(
         "--shards", type=int, default=1, metavar="N",
@@ -143,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _build_engine(
     args: argparse.Namespace,
-    packed: PackedLpm,
+    table: PackedLpm,
     injector: Optional[FaultInjector],
 ) -> SupervisedEngine:
     config = EngineConfig(
@@ -165,7 +188,7 @@ def _build_engine(
             raise CheckpointError("--resume requires --checkpoint PATH")
         if os.path.exists(args.checkpoint):
             engine = ShardedClusterEngine.resume(
-                args.checkpoint, packed, config, metrics, injector=injector
+                args.checkpoint, table, config, metrics, injector=injector
             )
             print(
                 f"resumed from {args.checkpoint} "
@@ -175,7 +198,7 @@ def _build_engine(
             print(f"no checkpoint at {args.checkpoint}; starting fresh")
     if engine is None:
         engine = ShardedClusterEngine(
-            packed, config, metrics, injector=injector
+            table, config, metrics, injector=injector
         )
     return SupervisedEngine(engine, supervision)
 
@@ -243,12 +266,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     merged = load_tables(args.table, injector=injector)
     print(f"merged prefix table: {len(merged):,} entries "
           f"from {len(args.table)} dump(s)")
-    packed = PackedLpm.from_merged(merged)
-    print(f"packed LPM table: {len(packed):,} entries, "
-          f"{packed.num_intervals:,} intervals")
+    if args.memo_size < 0:
+        parser.error("--memo-size must be >= 0")
+    table = build_lpm_table(args.lpm, merged, args.memo_size)
+    inner = table.table if args.memo_size else table
+    detail = f"{len(inner):,} entries, {inner.num_intervals:,} intervals"
+    if args.lpm == "stride":
+        detail += f", {inner.num_direct_slots:,}/65,536 direct slots"
+    if args.memo_size:
+        detail += f", memo bound {args.memo_size:,}"
+    print(f"{args.lpm} LPM table: {detail}")
 
     try:
-        engine = _build_engine(args, packed, injector)
+        engine = _build_engine(args, table, injector)
     except CheckpointError as exc:
         print(f"cannot resume: {exc}", file=sys.stderr)
         return 1

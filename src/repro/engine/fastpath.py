@@ -1,0 +1,443 @@
+"""The engine's fast path: stride-indexed LPM, memoized resolution,
+and packed zero-copy chunk transport.
+
+Three independent optimisations of the ingestion hot loop, selectable
+from the CLI (``--lpm``, ``--memo-size``) and composable with every
+existing engine feature (sharding, checkpoints, supervision, fault
+injection) because each one preserves the surrounding contract exactly:
+
+* :class:`StrideLpm` — a :class:`~repro.engine.packed.PackedLpm`
+  whose top 16 address bits index a flat 2^16-entry slot table.  A
+  slot covered by a single interval (every prefix ≤ /16, and any /16
+  block no longer prefix punches into) resolves in **one array index**
+  — no search at all.  Slots that longer prefixes subdivide point at a
+  small per-slot run of the interval layout, and the binary search
+  shrinks from the whole table to that run.  Same compile input, same
+  lookup results, same ``digest()``, same pickle-ability.
+* :class:`MemoizedLookup` — an exact-IP memo in front of any table,
+  exploiting the heavy-tailed client repetition of web logs: a client
+  seen before costs one dict probe instead of an LPM search.  The memo
+  is bounded (FIFO eviction) and its hit/miss/eviction counts flow
+  into :class:`~repro.engine.metrics.EngineMetrics`.
+* :class:`PackedBatch` — the wire format of a dispatched shard batch:
+  a flat ``array('Q')`` of client addresses, a flat ``array('Q')`` of
+  response sizes, and URLs interned into a per-batch string table
+  referenced by ``array('L')`` ids.  Pickling three flat buffers and
+  one deduplicated string tuple is far cheaper than pickling one
+  Python tuple per request, and the worker folds the batch into its
+  :class:`~repro.engine.state.ClusterStore` without ever
+  materialising per-entry objects.
+
+Correctness is pinned by tests: every table kind, memo size, and
+transport path produces clusters bit-identical to
+:func:`repro.core.clustering.cluster_log`, including under fault
+plans and across checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_right
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.packed import PackedLpm
+from repro.net.prefix import Prefix
+
+__all__ = [
+    "StrideLpm",
+    "MemoizedLookup",
+    "PackedBatch",
+    "build_lpm_table",
+    "LPM_KINDS",
+    "DEFAULT_MEMO_SIZE",
+]
+
+#: Table kinds ``build_lpm_table`` (and the CLIs' ``--lpm``) accept.
+LPM_KINDS = ("packed", "stride")
+
+#: Default memo bound: comfortably holds every distinct client of the
+#: paper's logs (~60k for Nagano) while capping worst-case memory for
+#: adversarial address streams at a few MB.
+DEFAULT_MEMO_SIZE = 1 << 18
+
+#: Number of low bits *not* covered by the stride index.
+_STRIDE_SHIFT = 16
+_NUM_SLOTS = 1 << 16
+
+#: Slot sentinel: "consult the per-slot run" (any value ≥ -1 is a
+#: direct answer — an entry index, or -1 for an uncovered gap).
+_INDIRECT = -2
+
+
+class StrideLpm(PackedLpm):
+    """Stride-16 direct-index LPM over the packed interval layout.
+
+    Construction first compiles the same disjoint-interval layout as
+    :class:`PackedLpm` (so ``digest``, ``items``, ``prefix``, ``value``
+    and the entry indices lookups return are identical), then overlays
+    the stride index in one monotone walk over the intervals:
+
+    * ``_slots[s]`` — the answer for every address whose top 16 bits
+      equal ``s`` when one interval covers the whole /16 block (every
+      prefix ≤ /16 that no longer prefix punches into, and every
+      uncovered gap) — an entry index, or -1 for a miss — else the
+      ``_INDIRECT`` sentinel;
+    * ``_runs[s]`` — for indirect slots, the slot's own
+      ``(starts, owners)`` interval run as two plain int lists, the
+      first start clamped to the slot base so ``bisect_right`` can
+      never land before the run.  Lists, not shared arrays: a bisect
+      over a small int list compares already-boxed ints, where an
+      ``array`` view would re-box an item per comparison.
+
+    The hot path (:meth:`lookup_many`) therefore degenerates to one
+    shift + one array index for every address in a direct slot, and a
+    binary search over the handful of intervals inside one /16 block
+    otherwise — against the full-table search :class:`PackedLpm` pays
+    for every address.
+    """
+
+    __slots__ = ("_slots", "_runs")
+
+    def __init__(self, entries: Sequence[Tuple[Prefix, Any]]) -> None:
+        super().__init__(entries)
+        self._build_stride()
+
+    def _build_stride(self) -> None:
+        starts = self._starts
+        owners = self._owners
+        num_intervals = len(starts)
+        slots = array("q", [0]) * _NUM_SLOTS
+        runs: List[Optional[Tuple[List[int], List[int]]]] = [None] * _NUM_SLOTS
+        index = 0  # one monotone walk over the intervals
+        for slot in range(_NUM_SLOTS):
+            base = slot << _STRIDE_SHIFT
+            end = base + _NUM_SLOTS
+            while index + 1 < num_intervals and starts[index + 1] <= base:
+                index += 1
+            last = index
+            while last + 1 < num_intervals and starts[last + 1] < end:
+                last += 1
+            if last == index:
+                slots[slot] = owners[index]
+            else:
+                slots[slot] = _INDIRECT
+                run_starts = [base]
+                run_starts.extend(starts[index + 1:last + 1])
+                runs[slot] = (run_starts, list(owners[index:last + 1]))
+                index = last
+        self._slots = slots
+        self._runs = runs
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def num_direct_slots(self) -> int:
+        """How many of the 2^16 slots resolve without any search."""
+        return sum(1 for owner in self._slots if owner >= -1)
+
+    # -- lookups ---------------------------------------------------------
+
+    def match_index(self, address: int) -> int:
+        slot = address >> _STRIDE_SHIFT
+        owner = self._slots[slot]
+        if owner >= -1:
+            return owner
+        run_starts, run_owners = self._runs[slot]  # type: ignore[misc]
+        return run_owners[bisect_right(run_starts, address) - 1]
+
+    def longest_match(self, address: int) -> Optional[Tuple[Prefix, Any]]:
+        owner = self.match_index(address)
+        if owner < 0:
+            return None
+        return self._prefixes[owner], self._values[owner]
+
+    def lookup(self, address: int) -> Any:
+        owner = self.match_index(address)
+        if owner < 0:
+            return None
+        return self._values[owner]
+
+    def lookup_many(self, addresses: Iterable[int]) -> List[int]:
+        """Batch lookup: one shift + one index per direct-slot address,
+        a run-bounded binary search otherwise."""
+        slots = self._slots
+        runs = self._runs
+        search = bisect_right
+        out: List[int] = []
+        append = out.append
+        for address in addresses:
+            slot = address >> 16
+            owner = slots[slot]
+            if owner < -1:
+                run_starts, run_owners = runs[slot]  # type: ignore[misc]
+                owner = run_owners[search(run_starts, address) - 1]
+            append(owner)
+        return out
+
+    # -- pickling --------------------------------------------------------
+
+    def __getstate__(self):
+        return (super().__getstate__(), self._slots, self._runs)
+
+    def __setstate__(self, state) -> None:
+        packed_state, self._slots, self._runs = state
+        super().__setstate__(packed_state)
+
+
+#: Distinct from any valid memo value (indices are ints, including -1).
+_ABSENT = object()
+
+
+class MemoizedLookup:
+    """Bounded exact-IP memo in front of any index-returning LPM table.
+
+    Wraps anything with the packed-table API (``lookup_many`` returning
+    entry indices plus ``prefix``/``value``/``digest``) and serves
+    repeat addresses from a dict.  Web-log client popularity is heavy
+    tailed, so in steady state most addresses never reach the table.
+
+    The memo is bounded at ``maxsize`` distinct addresses with FIFO
+    eviction (dicts preserve insertion order); eviction only matters
+    when a log's distinct-client count exceeds the bound, where FIFO's
+    per-miss cost — one ``pop`` — beats LRU's per-*hit* bookkeeping on
+    the hit-dominated streams the memo exists for.
+
+    Counters (``hits`` / ``misses`` / ``evictions``) accumulate per
+    wrapper; the engine drains them into
+    :class:`~repro.engine.metrics.EngineMetrics` via
+    :meth:`take_memo_stats` after each dispatched chunk.  The wrapper
+    pickles *without* its memo or counters — each worker process warms
+    its own memo over its own shard's clients.
+    """
+
+    __slots__ = ("table", "maxsize", "hits", "misses", "evictions", "_memo")
+
+    def __init__(self, table: Any, maxsize: int = DEFAULT_MEMO_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"memo maxsize must be >= 1: {maxsize!r}")
+        self.table = table
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._memo: dict = {}
+
+    # -- memoized lookups ------------------------------------------------
+
+    def lookup_many(self, addresses: Iterable[int]) -> List[int]:
+        """Batch lookup: memo hits inline, misses batched to the table.
+
+        Output order matches the input.  An address repeating inside
+        one batch before it is memoized counts as a miss each time
+        (misses are collected first, resolved in one table batch);
+        the memo stores it once and later batches hit.
+        """
+        memo = self._memo
+        get = memo.get
+        out: List[int] = []
+        append = out.append
+        miss_pos: List[int] = []
+        miss_addr: List[int] = []
+        position = 0
+        for address in addresses:
+            owner = get(address, _ABSENT)
+            if owner is _ABSENT:
+                miss_pos.append(position)
+                miss_addr.append(address)
+                append(-1)
+            else:
+                append(owner)
+            position += 1
+        if miss_addr:
+            resolved = self.table.lookup_many(miss_addr)
+            maxsize = self.maxsize
+            evictions = 0
+            for position, address, owner in zip(miss_pos, miss_addr, resolved):
+                out[position] = owner
+                if address not in memo:
+                    if len(memo) >= maxsize:
+                        del memo[next(iter(memo))]
+                        evictions += 1
+                    memo[address] = owner
+            self.misses += len(miss_addr)
+            self.evictions += evictions
+        self.hits += len(out) - len(miss_addr)
+        return out
+
+    def match_index(self, address: int) -> int:
+        owner = self._memo.get(address, _ABSENT)
+        if owner is _ABSENT:
+            owner = self.table.match_index(address)
+            self.misses += 1
+            if len(self._memo) >= self.maxsize:
+                del self._memo[next(iter(self._memo))]
+                self.evictions += 1
+            self._memo[address] = owner
+        else:
+            self.hits += 1
+        return owner
+
+    def lookup(self, address: int) -> Any:
+        owner = self.match_index(address)
+        if owner < 0:
+            return None
+        return self.table.value(owner)
+
+    def longest_match(self, address: int) -> Optional[Tuple[Prefix, Any]]:
+        owner = self.match_index(address)
+        if owner < 0:
+            return None
+        return self.table.prefix(owner), self.table.value(owner)
+
+    # -- telemetry -------------------------------------------------------
+
+    def take_memo_stats(self) -> Tuple[int, int, int]:
+        """Return and reset ``(hits, misses, evictions)`` accumulated
+        since the last take — the engine's per-chunk metrics drain."""
+        stats = (self.hits, self.misses, self.evictions)
+        self.hits = self.misses = self.evictions = 0
+        return stats
+
+    def clear_memo(self) -> None:
+        """Drop every memoized resolution (table hot-swap hook)."""
+        self._memo.clear()
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __bool__(self) -> bool:
+        return bool(self.table)
+
+    @property
+    def memo_size(self) -> int:
+        """Distinct addresses currently memoized."""
+        return len(self._memo)
+
+    # -- delegation (the rest of the LookupTable surface) ----------------
+
+    def items(self) -> Iterable[Tuple[Prefix, Any]]:
+        return self.table.items()
+
+    def prefix(self, index: int) -> Prefix:
+        return self.table.prefix(index)
+
+    def value(self, index: int) -> Any:
+        return self.table.value(index)
+
+    def digest(self) -> str:
+        return self.table.digest()
+
+    # -- pickling --------------------------------------------------------
+
+    def __getstate__(self):
+        # The memo and its counters are process-local working state:
+        # workers warm their own over their own shard's clients.
+        return (self.table, self.maxsize)
+
+    def __setstate__(self, state) -> None:
+        self.table, self.maxsize = state
+        self.hits = self.misses = self.evictions = 0
+        self._memo = {}
+
+
+class PackedBatch:
+    """One shard's dispatched work as flat buffers, not tuple lists.
+
+    ``addresses`` and ``sizes`` are ``array('Q')``; ``url_ids`` is an
+    ``array('L')`` of indices into ``urls``, the batch's interned
+    string table (each distinct URL pickled once however often it
+    repeats).  The arrays pickle as single contiguous buffers — the
+    "zero-copy" of the wire format: serialisation cost no longer scales
+    with per-entry Python object count.
+
+    Workers consume batches with
+    :meth:`repro.engine.state.ClusterStore.apply_packed`;
+    :meth:`iter_triples` recovers the plain ``(client, url, size)``
+    stream for code that still wants tuples.
+    """
+
+    __slots__ = ("addresses", "sizes", "url_ids", "urls", "_url_index")
+
+    def __init__(self) -> None:
+        self.addresses = array("Q")
+        self.sizes = array("Q")
+        self.url_ids = array("L")
+        self.urls: List[str] = []
+        self._url_index: Optional[dict] = {}
+
+    def append(self, client: int, url: str, size: int) -> None:
+        index = self._url_index
+        if index is None:
+            raise TypeError("PackedBatch is frozen after unpickling")
+        url_id = index.get(url)
+        if url_id is None:
+            url_id = index[url] = len(self.urls)
+            self.urls.append(url)
+        self.addresses.append(client)
+        self.sizes.append(size)
+        self.url_ids.append(url_id)
+
+    @classmethod
+    def from_triples(
+        cls, triples: Iterable[Tuple[int, str, int]]
+    ) -> "PackedBatch":
+        batch = cls()
+        append = batch.append
+        for client, url, size in triples:
+            append(client, url, size)
+        return batch
+
+    @classmethod
+    def partition(
+        cls, triples: Iterable[Tuple[int, str, int]], num_shards: int
+    ) -> List["PackedBatch"]:
+        """Pack ``triples`` straight into per-shard batches (one pass,
+        no intermediate per-shard tuple lists)."""
+        from repro.engine.shard import shard_of
+
+        batches = [cls() for _ in range(num_shards)]
+        for client, url, size in triples:
+            batches[shard_of(client, num_shards)].append(client, url, size)
+        return batches
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def iter_triples(self) -> Iterator[Tuple[int, str, int]]:
+        urls = self.urls
+        for client, url_id, size in zip(self.addresses, self.url_ids,
+                                        self.sizes):
+            yield client, urls[url_id], size
+
+    def __getstate__(self):
+        return (self.addresses, self.sizes, self.url_ids, tuple(self.urls))
+
+    def __setstate__(self, state) -> None:
+        self.addresses, self.sizes, self.url_ids, urls = state
+        self.urls = list(urls)
+        self._url_index = None
+
+
+def build_lpm_table(
+    kind: str, merged: Any, memo_size: int = 0
+) -> Any:
+    """Compile ``merged`` (a MergedPrefixTable) into an engine table.
+
+    ``kind`` selects the layout (``"packed"`` or ``"stride"``);
+    ``memo_size`` > 0 wraps the result in a :class:`MemoizedLookup`
+    bounded at that many addresses.  Every combination exposes the
+    identical LookupTable surface, and two tables compiled from the
+    same merged input share a ``digest()`` whatever the kind — so
+    checkpoints move freely between ``--lpm`` settings.
+    """
+    if kind == "packed":
+        table: Any = PackedLpm.from_merged(merged)
+    elif kind == "stride":
+        table = StrideLpm.from_merged(merged)
+    else:
+        raise ValueError(
+            f"unknown LPM table kind {kind!r} (choose from {LPM_KINDS})"
+        )
+    if memo_size:
+        table = MemoizedLookup(table, memo_size)
+    return table

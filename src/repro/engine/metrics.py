@@ -32,6 +32,9 @@ class EngineMetrics:
         self.chunks_quarantined = 0
         self.entries_quarantined = 0
         self.checkpoint_rewrites = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_evictions = 0
         self.degraded = False
         self.total_seconds = 0.0
         self.max_batch_seconds = 0.0
@@ -81,6 +84,14 @@ class EngineMetrics:
         was written again."""
         self.checkpoint_rewrites += 1
 
+    def record_memo(self, hits: int, misses: int, evictions: int) -> None:
+        """Fold in one drain of a
+        :class:`~repro.engine.fastpath.MemoizedLookup`'s counters
+        (driver-side after inline chunks, worker-reported otherwise)."""
+        self.memo_hits += hits
+        self.memo_misses += misses
+        self.memo_evictions += evictions
+
     def record_degraded(self) -> None:
         """The run fell back to inline (single-process) ingestion."""
         self.degraded = True
@@ -98,6 +109,14 @@ class EngineMetrics:
         if self.batches == 0:
             return 0.0
         return self.total_seconds / self.batches
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Share of memoized resolutions served without an LPM search."""
+        probes = self.memo_hits + self.memo_misses
+        if probes == 0:
+            return 0.0
+        return self.memo_hits / probes
 
     @property
     def shard_skew(self) -> float:
@@ -124,12 +143,16 @@ class EngineMetrics:
             "chunks_quarantined": self.chunks_quarantined,
             "entries_quarantined": self.entries_quarantined,
             "checkpoint_rewrites": self.checkpoint_rewrites,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_evictions": self.memo_evictions,
             "degraded": int(self.degraded),
             "num_shards": self.num_shards,
             "total_seconds": self.total_seconds,
             "mean_batch_seconds": self.mean_batch_seconds,
             "max_batch_seconds": self.max_batch_seconds,
             "entries_per_second": self.entries_per_second,
+            "memo_hit_rate": self.memo_hit_rate,
             "shard_skew": self.shard_skew,
         }
 
@@ -149,11 +172,15 @@ class EngineMetrics:
             "chunks_quarantined",
             "entries_quarantined",
             "checkpoint_rewrites",
+            "memo_hits",
+            "memo_misses",
+            "memo_evictions",
             "degraded",
             "num_shards",
         ):
             rows.append([key, format_count(int(snap[key]))])
         rows.append(["entries_per_second", f"{snap['entries_per_second']:,.0f}"])
+        rows.append(["memo_hit_rate", f"{snap['memo_hit_rate']:.3f}"])
         rows.append(["mean_batch_seconds", f"{snap['mean_batch_seconds']:.6f}"])
         rows.append(["max_batch_seconds", f"{snap['max_batch_seconds']:.6f}"])
         rows.append(["shard_skew", f"{snap['shard_skew']:.3f}"])

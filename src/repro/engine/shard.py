@@ -36,6 +36,7 @@ from typing import (
 )
 
 from repro.core.clustering import ClusterSet
+from repro.engine.fastpath import PackedBatch
 from repro.engine.metrics import EngineMetrics
 from repro.engine.packed import PackedLpm
 from repro.engine.state import ClusterStore, read_checkpoint, write_checkpoint
@@ -96,9 +97,16 @@ class EngineConfig:
 
 _WORKER_TABLE: Optional[PackedLpm] = None
 
-#: A worker job: the shard's batch plus an optional armed fault
-#: directive (``(shard, site, arg)``) the driver decided on dispatch.
-_WorkerJob = Tuple[Sequence[Triple], Optional[Tuple[int, str, float]]]
+#: A worker job: the shard's batch — a packed flat-buffer
+#: :class:`~repro.engine.fastpath.PackedBatch`, not a tuple list —
+#: plus an optional armed fault directive (``(shard, site, arg)``)
+#: the driver decided on dispatch.
+_WorkerJob = Tuple[PackedBatch, Optional[Tuple[int, str, float]]]
+
+#: What a worker sends back: its partial state plus the memo counters
+#: its process-local :class:`~repro.engine.fastpath.MemoizedLookup`
+#: accumulated over the batch ((0, 0, 0) without a memo).
+_WorkerResult = Tuple[ClusterStore, Tuple[int, int, int]]
 
 
 def _init_worker(table: PackedLpm) -> None:
@@ -106,14 +114,16 @@ def _init_worker(table: PackedLpm) -> None:
     _WORKER_TABLE = table
 
 
-def _process_batch(job: _WorkerJob) -> ClusterStore:
+def _process_batch(job: _WorkerJob) -> _WorkerResult:
     assert _WORKER_TABLE is not None, "worker pool not initialised"
-    triples, directive = job
+    batch, directive = job
     if directive is not None:
         execute_worker_directive(directive)
     store = ClusterStore()
-    store.apply_batch(triples, _WORKER_TABLE)
-    return store
+    store.apply_packed(batch, _WORKER_TABLE)
+    take = getattr(_WORKER_TABLE, "take_memo_stats", None)
+    memo_stats = take() if take is not None else (0, 0, 0)
+    return store, memo_stats
 
 
 # -- driver side ----------------------------------------------------------
@@ -256,9 +266,13 @@ class ShardedClusterEngine:
                 counts = [len(batch) for batch in batches]
                 for shard, batch in enumerate(batches):
                     self._stores[shard].apply_batch(batch, self.table)
+            self._drain_inline_memo_stats()
         else:
-            batches = self._partition(triples, num_shards)
-            counts = [len(batch) for batch in batches]
+            # Packed transport: each shard's work crosses the process
+            # boundary as flat address/size buffers plus an interned
+            # URL table (PackedBatch), not a pickled tuple list.
+            packed_batches = PackedBatch.partition(triples, num_shards)
+            counts = [len(batch) for batch in packed_batches]
             jobs: List[_WorkerJob] = [
                 (
                     batch,
@@ -266,14 +280,23 @@ class ShardedClusterEngine:
                     if directive is not None and directive[0] == shard
                     else None,
                 )
-                for shard, batch in enumerate(batches)
+                for shard, batch in enumerate(packed_batches)
             ]
-            partials = self._dispatch_to_pool(jobs)
-            for shard, partial in enumerate(partials):
+            results = self._dispatch_to_pool(jobs)
+            for shard, (partial, memo_stats) in enumerate(results):
                 self._stores[shard].merge(partial)
+                self.metrics.record_memo(*memo_stats)
         elapsed = time.perf_counter() - began
         self.metrics.record_batch(counts, elapsed, lookups=len(triples))
         return len(triples)
+
+    def _drain_inline_memo_stats(self) -> None:
+        """Move this process's memo counters into the metrics (inline
+        ingestion resolves against ``self.table`` directly, so any
+        :class:`~repro.engine.fastpath.MemoizedLookup` counts here)."""
+        take = getattr(self.table, "take_memo_stats", None)
+        if take is not None:
+            self.metrics.record_memo(*take())
 
     @staticmethod
     def _partition(
@@ -284,7 +307,7 @@ class ShardedClusterEngine:
             batches[shard_of(triple[0], num_shards)].append(triple)
         return batches
 
-    def _dispatch_to_pool(self, jobs: List[_WorkerJob]) -> List[ClusterStore]:
+    def _dispatch_to_pool(self, jobs: List[_WorkerJob]) -> List[_WorkerResult]:
         """One pool round-trip with dead/hung-worker containment.
 
         ``map_async`` + a bounded ``get`` instead of ``map``: a worker

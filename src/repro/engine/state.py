@@ -129,31 +129,74 @@ class ClusterStore:
         """Fold one batch of ``(client, url, size)`` into the store.
 
         One batched LPM pass resolves every client, then a single
-        Python loop updates the per-cluster accumulators.  Returns the
-        number of entries applied.
+        Python loop updates the per-cluster accumulators.  A per-call
+        index→state cache keeps the loop to one dict probe per entry
+        (prefix materialisation happens once per distinct cluster per
+        batch, not once per request).  Returns the number of entries
+        applied.
         """
         indices = table.lookup_many([triple[0] for triple in triples])
         self.lookups_performed += len(triples)
-        clusters = self._clusters
         unclustered = self._unclustered
+        states: Dict[int, _ClusterState] = {}
+        states_get = states.get
         for (client, url, size), index in zip(triples, indices):
-            if index < 0:
-                unclustered[client] = unclustered.get(client, 0) + 1
-                continue
-            prefix = table.prefix(index)
-            state = clusters.get(prefix)
+            state = states_get(index)
             if state is None:
-                value = table.value(index)
-                state = clusters[prefix] = _ClusterState(
-                    source_kind=getattr(value, "source_kind", ""),
-                    source_name=getattr(value, "source_name", ""),
-                )
+                if index < 0:
+                    unclustered[client] = unclustered.get(client, 0) + 1
+                    continue
+                state = states[index] = self._state_for(table, index)
             state.requests += 1
             state.total_bytes += size
             state.client_counts[client] = state.client_counts.get(client, 0) + 1
             state.urls.add(url)
         self.entries_applied += len(triples)
         return len(triples)
+
+    def apply_packed(self, batch: Any, table: PackedLpm) -> int:
+        """Fold one :class:`~repro.engine.fastpath.PackedBatch` in.
+
+        The flat-buffer twin of :meth:`apply_batch`: clients, sizes and
+        interned URL ids stream straight out of their arrays, so no
+        per-entry tuple ever exists on the worker.  Accumulation order
+        and results are identical to :meth:`apply_batch` over
+        ``batch.iter_triples()``.
+        """
+        indices = table.lookup_many(batch.addresses)
+        count = len(indices)
+        self.lookups_performed += count
+        unclustered = self._unclustered
+        urls = batch.urls
+        states: Dict[int, _ClusterState] = {}
+        states_get = states.get
+        for client, url_id, size, index in zip(
+            batch.addresses, batch.url_ids, batch.sizes, indices
+        ):
+            state = states_get(index)
+            if state is None:
+                if index < 0:
+                    unclustered[client] = unclustered.get(client, 0) + 1
+                    continue
+                state = states[index] = self._state_for(table, index)
+            state.requests += 1
+            state.total_bytes += size
+            state.client_counts[client] = state.client_counts.get(client, 0) + 1
+            state.urls.add(urls[url_id])
+        self.entries_applied += count
+        return count
+
+    def _state_for(self, table: PackedLpm, index: int) -> _ClusterState:
+        """The accumulator for entry ``index``, created on first sight."""
+        prefix = table.prefix(index)
+        state = self._clusters.get(prefix)
+        if state is None:
+            value = table.value(index)
+            state = self._clusters[prefix] = _ClusterState(
+                source_kind=getattr(value, "source_kind", ""),
+                source_name=getattr(value, "source_name", ""),
+            )
+        return state
 
     def apply_entries(self, entries: Iterable[Any], table: PackedLpm) -> int:
         """Convenience wrapper taking :class:`LogEntry`-shaped objects."""

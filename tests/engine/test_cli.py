@@ -67,6 +67,59 @@ def _cluster_table(out):
     return "\n".join(lines[start:])
 
 
+class TestFastpathFlags:
+    """--lpm / --memo-size: different table layouts, identical output."""
+
+    @pytest.fixture()
+    def baseline_table(self, files, capsys):
+        log, dump = files
+        assert main([log, "--table", dump]) == 0
+        return _cluster_table(capsys.readouterr().out)
+
+    def test_stride_output_is_byte_identical(self, files, baseline_table,
+                                             capsys):
+        log, dump = files
+        assert main([log, "--table", dump, "--lpm", "stride"]) == 0
+        out = capsys.readouterr().out
+        assert "stride LPM table" in out
+        assert "direct slots" in out
+        assert _cluster_table(out) == baseline_table
+
+    def test_memoized_output_is_byte_identical(self, files, baseline_table,
+                                               capsys):
+        log, dump = files
+        for kind in ("packed", "stride"):
+            assert main([log, "--table", dump, "--lpm", kind,
+                         "--memo-size", "4", "--metrics"]) == 0
+            out = capsys.readouterr().out
+            assert "memo" in out
+            assert "memo_hits" in out
+            table = _cluster_table(out[: out.index("engine metrics")])
+            assert table.strip() == baseline_table.strip()
+
+    def test_stride_resume_from_packed_checkpoint(self, tmp_path, files,
+                                                  baseline_table, capsys):
+        """A checkpoint written under --lpm packed resumes under
+        --lpm stride + memo with an identical final table."""
+        log, dump = files
+        ckpt = str(tmp_path / "run.ckpt")
+        assert main([log, "--table", dump, "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        assert main([log, "--table", dump, "--lpm", "stride",
+                     "--memo-size", "64", "--checkpoint", ckpt,
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert _cluster_table(out) == baseline_table
+
+    def test_rejects_bad_flags(self, files):
+        log, dump = files
+        with pytest.raises(SystemExit):
+            main([log, "--table", dump, "--lpm", "radix"])
+        with pytest.raises(SystemExit):
+            main([log, "--table", dump, "--memo-size", "-1"])
+
+
 class TestCheckpointFlow:
     def test_resume_same_log_skips_already_ingested(self, tmp_path, files,
                                                     capsys):
@@ -267,6 +320,25 @@ class TestFaultFlags:
         ).save(plan_path)
         assert main([log, "--table", dump, "--inject", plan_path]) == 0
         assert "parsed 2" in capsys.readouterr().out
+
+    def test_stride_identical_under_fault_plan(self, tmp_path, files,
+                                               capsys):
+        """--lpm stride + --memo-size under an injected crash still
+        prints the exact table an undisturbed packed run prints."""
+        from repro.faults import SITE_WORKER_CRASH, FaultPlan, FaultSpec
+
+        log, dump = files
+        plan_path = str(tmp_path / "plan.json")
+        FaultPlan.build(
+            FaultSpec(site=SITE_WORKER_CRASH, at=0, count=1), seed=3
+        ).save(plan_path)
+        assert main([log, "--table", dump]) == 0
+        undisturbed = _cluster_table(capsys.readouterr().out)
+        assert main([log, "--table", dump, "--lpm", "stride",
+                     "--memo-size", "64", "--inject", plan_path]) == 0
+        disturbed = capsys.readouterr().out
+        assert "stride LPM table" in disturbed
+        assert _cluster_table(disturbed).strip() == undisturbed.strip()
 
     def test_quarantined_chunk_does_not_shift_resume_accounting(
         self, tmp_path, files, capsys

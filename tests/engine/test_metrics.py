@@ -50,9 +50,21 @@ class TestExport:
             "checkpoints_written", "table_swaps", "num_shards",
             "worker_restarts", "chunk_retries", "chunks_quarantined",
             "entries_quarantined", "checkpoint_rewrites", "degraded",
+            "memo_hits", "memo_misses", "memo_evictions",
             "total_seconds", "mean_batch_seconds", "max_batch_seconds",
-            "entries_per_second", "shard_skew",
+            "entries_per_second", "shard_skew", "memo_hit_rate",
         }
+
+    def test_memo_counters(self):
+        metrics = EngineMetrics(2)
+        metrics.record_memo(75, 25, 10)
+        metrics.record_memo(25, 75, 0)
+        snap = metrics.snapshot()
+        assert snap["memo_hits"] == 100
+        assert snap["memo_misses"] == 100
+        assert snap["memo_evictions"] == 10
+        assert snap["memo_hit_rate"] == 0.5
+        assert EngineMetrics(1).memo_hit_rate == 0.0
 
     def test_fault_counters(self):
         metrics = EngineMetrics(2)

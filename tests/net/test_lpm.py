@@ -83,6 +83,68 @@ class TestEngineEquivalence:
             build_engine("quantum", [])
 
     def test_build_engine_kinds(self):
+        from repro.engine.fastpath import StrideLpm
+        from repro.engine.packed import PackedLpm
+
         assert isinstance(build_engine("radix", []), RadixTree)
         assert isinstance(build_engine("linear", []), LinearLpm)
         assert isinstance(build_engine("sorted", []), SortedLpm)
+        assert isinstance(build_engine("packed", []), PackedLpm)
+        assert isinstance(build_engine("stride", []), StrideLpm)
+
+
+class TestBatchApi:
+    """The packed-table surface on the mutable engines: every
+    build_engine result is interchangeable where a LookupTable is
+    duck-typed."""
+
+    CIDRS = ["10.0.0.0/8", "10.1.0.0/16", "172.16.0.0/12"]
+
+    @pytest.fixture(params=["linear", "sorted", "packed", "stride"])
+    def table(self, request):
+        return build_engine(
+            request.param, [(p(cidr), cidr) for cidr in self.CIDRS]
+        )
+
+    def test_lookup_many_returns_entry_indices(self, table):
+        probes = [
+            parse_ipv4("10.1.2.3"),    # /16, entry 1 in sort_key order
+            parse_ipv4("10.200.0.1"),  # /8,  entry 0
+            parse_ipv4("172.20.0.1"),  # /12, entry 2
+            parse_ipv4("11.0.0.1"),    # miss
+        ]
+        indices = table.lookup_many(probes)
+        assert indices == [1, 0, 2, -1]
+        assert [table.prefix(i).cidr for i in indices[:3]] == [
+            "10.1.0.0/16", "10.0.0.0/8", "172.16.0.0/12",
+        ]
+        for address, index in zip(probes, indices):
+            assert table.match_index(address) == index
+            if index >= 0:
+                assert table.lookup(address) == table.value(index)
+                assert table.value(index) == table.prefix(index).cidr
+            else:
+                assert table.lookup(address) is None
+
+    def test_digest_matches_across_kinds(self):
+        entries = [(p(cidr), cidr) for cidr in self.CIDRS]
+        digests = {
+            build_engine(kind, entries).digest()
+            for kind in ("linear", "sorted", "packed", "stride")
+        }
+        assert len(digests) == 1
+
+    def test_mutation_invalidates_the_index(self):
+        for kind in ("linear", "sorted"):
+            engine = build_engine(
+                kind, [(p("10.0.0.0/8"), "a")]
+            )
+            address = parse_ipv4("10.1.2.3")
+            assert engine.match_index(address) == 0
+            engine.insert(p("10.1.0.0/16"), "b")
+            # /16 now precedes nothing new in sort order; /8 is entry 0,
+            # /16 entry 1, and the address resolves to the finer entry.
+            assert engine.match_index(address) == 1
+            assert engine.prefix(1).cidr == "10.1.0.0/16"
+            assert engine.delete(p("10.1.0.0/16"))
+            assert engine.match_index(address) == 0

@@ -1,13 +1,16 @@
 """Unit tests for log parsing and the WebLog container."""
 
+import random
+
 import pytest
 
 from repro.net.ipv4 import parse_ipv4
-from repro.weblog.entry import LogEntry
+from repro.weblog.entry import LogEntry, LogFormatError
 from repro.weblog.parser import (
     ParseLimitError,
     ParseReport,
     WebLog,
+    _fast_entry,
     iter_clf_entries,
     parse_clf_lines,
 )
@@ -43,6 +46,97 @@ class TestParseClfLines:
 
 
 GOOD = '1.2.3.{host} - - [13/Feb/1998:00:00:0{host} +0000] "GET /u HTTP/1.0" 200 10'
+
+
+class TestFastPath:
+    """The hot-loop fast parse: a strict subset of the full grammar."""
+
+    def test_accepts_common_shapes_identically(self):
+        lines = [
+            # common + combined, sizes, zones, methods, bare request
+            '12.65.147.94 - - [13/Feb/1998:09:12:01 +0000] "GET /a HTTP/1.0" 200 100',
+            '1.2.3.4 x y [01/Jan/2001:23:59:59 +0900] "POST /cgi?q=1 HTTP/1.1" 404 -',
+            '9.8.7.6 - - [28/Dec/1999:12:00:00 -0530] "HEAD /h HTTP/1.0" 304 0',
+            '1.2.3.4 - - [13/Feb/1998:09:12:01 +0000] "GET /a" 200 5',
+            '1.2.3.4 - - [13/Feb/1998:09:12:01 +0000] "GET /a HTTP/1.0" 200 5 '
+            '"http://ref/" "Mozilla/4.0"',
+            '1.2.3.4 - - [13/Feb/1998:09:12:01 +0000] "GET /a HTTP/1.0" 200 5 '
+            '"-" "-"',
+            '0.0.0.0 - - [13/Feb/1998:09:12:01 +0000] "GET /a HTTP/1.0" 200 5',
+        ]
+        for line in lines:
+            fast = _fast_entry(line)
+            assert fast is not None, line
+            assert fast == LogEntry.from_clf(line), line
+
+    def test_never_accepts_what_the_grammar_rejects(self):
+        lines = [
+            "garbage",
+            "",
+            '256.1.2.3 - - [13/Feb/1998:09:12:01 +0000] "GET /a HTTP/1.0" 200 5',
+            '01.2.3.4 - - [13/Feb/1998:09:12:01 +0000] "GET /a HTTP/1.0" 200 5',
+            '1.2.3.4 - - [13/Xyz/1998:09:12:01 +0000] "GET /a HTTP/1.0" 200 5',
+            '1.2.3.4 - - [13/Feb/1998:09:12:01 +0000] "GET /a"b HTTP/1.0" 200 5',
+            '1.2.3.4 - - [13/Feb/1998:09:12:01 +0000] "GET /a HTTP/1.0" 200 5 "r"',
+            '1.2.3.4 - - [13/Feb/1998:09:12:01 +0000] "GET /a HTTP/1.0" 20 5',
+            'host.example - - [13/Feb/1998:09:12:01 +0000] "GET /a HTTP/1.0" 200 5',
+        ]
+        for line in lines:
+            with pytest.raises((LogFormatError, ValueError)):
+                LogEntry.from_clf(line)
+            assert _fast_entry(line) is None, line
+
+    def test_declines_odd_but_valid_shapes_to_the_full_parse(self):
+        # Shapes from_clf accepts that the fast pattern stays out of:
+        # the fallback must produce them, not lose them.
+        lines = [
+            # one-token request (method defaults to GET)
+            '1.2.3.4 - - [13/Feb/1998:09:12:01 +0000] "/only" 200 5',
+            # four-token request (extra tokens ignored)
+            '1.2.3.4 - - [13/Feb/1998:09:12:01 +0000] "GET /a b HTTP/1.0" 200 5',
+            # lower-case method
+            '1.2.3.4 - - [13/Feb/1998:09:12:01 +0000] "get /a HTTP/1.0" 200 5',
+        ]
+        for line in lines:
+            assert _fast_entry(line) is None, line
+            full = LogEntry.from_clf(line)
+            report = ParseReport()
+            assert list(iter_clf_entries([line], report)) == [full]
+            assert report.parsed == 1 and report.malformed == 0
+
+    def test_round_trip_fuzz_matches_full_parse(self):
+        rng = random.Random(313)
+        for _ in range(300):
+            original = LogEntry(
+                client=rng.randrange(1, 2**32),
+                timestamp=float(rng.randrange(600_000_000, 1_000_000_000)),
+                url=f"/d/{rng.randrange(999)}",
+                size=rng.choice([0, 1, 30444]),
+                status=rng.choice([200, 304, 404, 500]),
+                method=rng.choice(["GET", "POST", "HEAD"]),
+                user_agent=rng.choice(["", "Mozilla/4.0 (compat)"]),
+                referer=rng.choice(["", "http://r/"]),
+            )
+            line = original.to_clf(combined=rng.random() < 0.5)
+            fast = _fast_entry(line)
+            assert fast is not None
+            assert fast == LogEntry.from_clf(line)
+            assert fast.client == original.client
+            assert fast.timestamp == original.timestamp
+
+    def test_report_accounting_identical_through_the_stream(self):
+        lines = [
+            GOOD.format(host=4),
+            "junk",
+            '0.0.0.0 - - [13/Feb/1998:00:00:00 +0000] "GET /z HTTP/1.0" 200 1',
+            '1.2.3.4 - - [13/Feb/1998:09:12:01 +0000] "/only" 200 5',
+            "",
+        ]
+        report = ParseReport()
+        entries = list(iter_clf_entries(lines, report))
+        assert len(entries) == 2
+        assert (report.total_lines, report.parsed, report.malformed,
+                report.null_client) == (5, 2, 1, 1)
 
 
 class TestIterClfEntries:
