@@ -1,7 +1,6 @@
 """Benchmarks: placement planning, AS-graph mining, anonymization."""
 
 from repro.bgp.aspath import build_as_graph
-from repro.bgp.sources import source_by_name
 from repro.core.placement import evaluate_latency, plan_placement
 from repro.simnet.geo import GeoModel
 from repro.weblog.anonymize import PrefixPreservingAnonymizer

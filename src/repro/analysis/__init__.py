@@ -1,0 +1,34 @@
+"""repro.analysis — the repo-specific static-analysis pass.
+
+See :mod:`repro.analysis.core` for the engine and
+:mod:`repro.analysis.rules` for the rule catalogue; ``repro-lint``
+(:mod:`repro.analysis.cli`) is the command-line front end.
+"""
+
+from repro.analysis.core import (
+    RULES,
+    Finding,
+    LintModule,
+    Rule,
+    Suppression,
+    active_rules,
+    lint_module,
+    lint_paths,
+    lint_source,
+    module_name_for,
+    register,
+)
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "LintModule",
+    "Rule",
+    "RULES",
+    "register",
+    "active_rules",
+    "lint_module",
+    "lint_source",
+    "lint_paths",
+    "module_name_for",
+]

@@ -1,0 +1,114 @@
+"""``repro-lint`` — run the repo's static-analysis pass from the shell.
+
+Exit codes: 0 clean, 1 findings reported, 2 usage error (unknown rule
+id, no such path).  ``--format=json`` emits a stable machine-readable
+array for CI; the default human format is one ``path:line:col:
+[rule-id] message`` line per finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import RULES, active_rules, lint_paths
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="repo-specific static analysis (determinism, pickle "
+        "boundary, error taxonomy, parser discipline)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rule ids (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip these rule ids (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _split_ids(values: Optional[Sequence[str]]) -> Optional[List[str]]:
+    if values is None:
+        return None
+    ids: List[str] = []
+    for value in values:
+        ids.extend(part.strip() for part in value.split(",") if part.strip())
+    return ids
+
+
+def _list_rules() -> str:
+    active_rules()  # force catalogue import
+    lines = []
+    for rule_id, rule in sorted(RULES.items()):
+        marker = " (suppression requires a reason)" if rule.require_reason else ""
+        lines.append(f"{rule_id}{marker}\n    {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    for raw in args.paths:
+        if not Path(raw).exists():
+            parser.error(f"no such path: {raw}")
+
+    try:
+        rules = active_rules(
+            select=_split_ids(args.select), ignore=_split_ids(args.ignore)
+        )
+    except KeyError as exc:
+        parser.error(str(exc.args[0]) if exc.args else str(exc))
+
+    findings = lint_paths(args.paths, rules)
+
+    if args.format == "json":
+        print(json.dumps([finding.to_json() for finding in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(
+                f"repro-lint: {len(findings)} finding(s) across "
+                f"{len({f.path for f in findings})} file(s)",
+                file=sys.stderr,
+            )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,10 +22,10 @@ import os
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.bgp.formats import DumpReport
-from repro.bgp.sources import DEFAULT_SOURCES, SourceSpec
+from repro.bgp.sources import SourceSpec
 from repro.bgp.synth import SnapshotFactory, SnapshotTime
 from repro.bgp.table import MergedPrefixTable, RoutingTable
 

@@ -10,7 +10,7 @@ view that Table 4's maximum-effect numbers summarise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.bgp.table import RouteEntry, RoutingTable

@@ -18,7 +18,7 @@ dynamic set (Table 4's first column).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.bgp.sources import SourceSpec
 from repro.bgp.synth import SnapshotFactory, SnapshotTime

@@ -22,7 +22,7 @@ registry sources lift clusterable clients from ~99 % to ~99.9 %
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.bgp.sources import DEFAULT_SOURCES, SourceSpec
 from repro.bgp.table import (

@@ -15,7 +15,7 @@ improvement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.bgp.formats import (
     FORMAT_DOTTED_NETMASK,

@@ -16,8 +16,8 @@ where clusters within a site share interests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.cache.lru import CacheItem
 from repro.cache.policy import DEFAULT_TTL_SECONDS, ProxyCache

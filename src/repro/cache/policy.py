@@ -20,7 +20,7 @@ accumulates the hit/byte counters Figures 11–12 are drawn from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cache.lru import CacheItem, LruCache

@@ -16,7 +16,6 @@ proxies could *not* absorb).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.weblog.catalog import UrlCatalog
 

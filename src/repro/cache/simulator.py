@@ -19,7 +19,7 @@ fewer than 10 accesses).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.cache.policy import DEFAULT_TTL_SECONDS, ProxyCache, ProxyStats
 from repro.cache.server import OriginServer

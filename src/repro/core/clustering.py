@@ -14,7 +14,7 @@ All three produce a :class:`ClusterSet`, so the downstream machinery
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.bgp.table import KIND_REGISTRY, MergedPrefixTable
 from repro.net.ipv4 import AddressError, classful_prefix_length, mask_bits

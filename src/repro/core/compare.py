@@ -20,7 +20,7 @@ know what changed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.core.clustering import ClusterSet
 

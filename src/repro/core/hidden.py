@@ -17,7 +17,7 @@ each detected proxy, and rolls the three classes up per log:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.core.spiders import Detection, DetectionReport, profile_clients
 from repro.weblog.parser import WebLog

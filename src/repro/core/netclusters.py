@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.clustering import Cluster, ClusterSet
 from repro.simnet.traceroute import SimulatedTraceroute
+from repro.util.rng import make_rng
 
 __all__ = ["NetworkCluster", "NetworkClusterSet", "cluster_networks"]
 
@@ -76,7 +77,7 @@ def cluster_networks(
         raise ValueError("need at least one traceroute sample per cluster")
     if level < 1:
         raise ValueError("level counts hops up from the destination (>= 1)")
-    rng = rng or random.Random(0)
+    rng = rng or make_rng(0)
     probes = 0
     groups: Dict[Tuple[str, ...], NetworkCluster] = {}
     for cluster in cluster_set.clusters:

@@ -20,7 +20,7 @@ quantifying §1's "lowers the latency perceived by the clients".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.clustering import Cluster, ClusterSet
 from repro.simnet.geo import GeoModel, Location, haversine_km

@@ -12,7 +12,6 @@ validated accuracy estimate and a placement sketch.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -22,6 +21,7 @@ from repro.core.hidden import ClientCensus, census
 from repro.core.metrics import ClusterSummary, summary
 from repro.core.spiders import DetectionReport, classify_clients
 from repro.core.threshold import ThresholdReport, threshold_busy_clusters
+from repro.util.rng import make_rng
 from repro.util.tables import render_table
 from repro.weblog.parser import WebLog
 from repro.weblog.stats import LogStats, summarize
@@ -120,7 +120,7 @@ def analyze_log(
         from repro.core.validation import nslookup_validate, sample_clusters
 
         sample = sample_clusters(
-            clusters, validation_fraction, random.Random(seed)
+            clusters, validation_fraction, make_rng(seed)
         )
         report = nslookup_validate(sample, dns, topology)
         pass_rate = report.pass_rate

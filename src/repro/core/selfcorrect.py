@@ -17,14 +17,14 @@ absorb path on the next run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.clustering import Cluster, ClusterSet
 from repro.net.ipv4 import mask_bits
 from repro.net.prefix import Prefix
 from repro.simnet.traceroute import SimulatedTraceroute
+from repro.util.rng import make_rng
 
 __all__ = ["CorrectionReport", "SelfCorrector", "covering_prefix"]
 
@@ -74,7 +74,7 @@ class SelfCorrector:
         self._traceroute = traceroute
         self._samples = samples_per_cluster
         self._hops = path_suffix_hops
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         self._probes = 0
 
     # -- sampling helpers ----------------------------------------------------

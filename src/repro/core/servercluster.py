@@ -11,7 +11,6 @@ distribution planning tractable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from repro.bgp.table import MergedPrefixTable
 from repro.core.clustering import ClusterSet, cluster_log

@@ -21,12 +21,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 import random
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.clustering import Cluster, ClusterSet
 from repro.simnet.dns import SimulatedDns, name_components
 from repro.simnet.topology import Topology
 from repro.simnet.traceroute import ProbeAccounting, SimulatedTraceroute
+from repro.util.rng import make_rng
 
 __all__ = [
     "ClusterVerdict",
@@ -120,7 +121,7 @@ def sample_clusters(
 ) -> List[Cluster]:
     """Draw the paper's validation sample: ``fraction`` of clusters,
     uniformly, at least ``minimum`` when the set allows."""
-    rng = rng or random.Random(0)
+    rng = rng or make_rng(0)
     population = cluster_set.clusters
     count = min(len(population), max(minimum, round(len(population) * fraction)))
     return rng.sample(population, count) if population else []

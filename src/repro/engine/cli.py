@@ -45,7 +45,9 @@ import argparse
 import itertools
 import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.weblog.entry import LogEntry
 
 from repro.cli import load_tables, print_cluster_report
 from repro.engine.fastpath import LPM_KINDS, build_lpm_table
@@ -203,7 +205,7 @@ def _build_engine(
     return SupervisedEngine(engine, supervision)
 
 
-def _entries_to_skip(resume_meta: dict, log: str) -> int:
+def _entries_to_skip(resume_meta: Dict[str, Any], log: str) -> int:
     """How many parsed entries of ``log`` the checkpoint already counted.
 
     Checkpoints written by this CLI record the log they were ingesting
@@ -289,7 +291,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     ingested_this_run = 0
     with engine:
         with open(args.log) as handle:
-            lines = handle
+            lines: Iterable[str] = handle
             if injector is not None:
                 lines = injector.wrap_lines(handle, SITE_LOG_TRUNCATE)
             entries = iter_clf_entries(lines, report, max_errors=args.max_errors)
@@ -297,7 +299,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 entries = itertools.islice(entries, skip, None)
             try:
                 while True:
-                    batch = []
+                    batch: List[LogEntry] = []
                     for entry in entries:
                         batch.append(entry)
                         if len(batch) >= args.chunk_size:

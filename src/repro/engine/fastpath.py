@@ -38,10 +38,32 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_right
-from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.engine.packed import PackedLpm
+from repro.engine.packed import PackedLpm, _PackedState
 from repro.net.prefix import Prefix
+
+if TYPE_CHECKING:
+    from repro.bgp.table import MergedPrefixTable
+
+#: One indirect slot's interval run: (starts, owners) as plain lists.
+_SlotRun = Tuple[List[int], List[int]]
+
+#: StrideLpm's pickled form: the packed layout plus the stride overlay.
+_StrideState = Tuple[_PackedState, "array[int]", List[Optional[_SlotRun]]]
+
+#: PackedBatch's pickled form: three flat buffers and the URL table.
+_BatchState = Tuple["array[int]", "array[int]", "array[int]", Tuple[str, ...]]
 
 __all__ = [
     "StrideLpm",
@@ -107,7 +129,7 @@ class StrideLpm(PackedLpm):
         owners = self._owners
         num_intervals = len(starts)
         slots = array("q", [0]) * _NUM_SLOTS
-        runs: List[Optional[Tuple[List[int], List[int]]]] = [None] * _NUM_SLOTS
+        runs: List[Optional[_SlotRun]] = [None] * _NUM_SLOTS
         index = 0  # one monotone walk over the intervals
         for slot in range(_NUM_SLOTS):
             base = slot << _STRIDE_SHIFT
@@ -176,16 +198,17 @@ class StrideLpm(PackedLpm):
 
     # -- pickling --------------------------------------------------------
 
-    def __getstate__(self):
+    def __getstate__(self) -> _StrideState:
         return (super().__getstate__(), self._slots, self._runs)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: _StrideState) -> None:
         packed_state, self._slots, self._runs = state
         super().__setstate__(packed_state)
 
 
 #: Distinct from any valid memo value (indices are ints, including -1).
-_ABSENT = object()
+#: Typed ``Any`` so ``dict.get(addr, _ABSENT)`` keeps its int result type.
+_ABSENT: Any = object()
 
 
 class MemoizedLookup:
@@ -220,7 +243,7 @@ class MemoizedLookup:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._memo: dict = {}
+        self._memo: Dict[int, int] = {}
 
     # -- memoized lookups ------------------------------------------------
 
@@ -329,12 +352,12 @@ class MemoizedLookup:
 
     # -- pickling --------------------------------------------------------
 
-    def __getstate__(self):
+    def __getstate__(self) -> Tuple[Any, int]:
         # The memo and its counters are process-local working state:
         # workers warm their own over their own shard's clients.
         return (self.table, self.maxsize)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: Tuple[Any, int]) -> None:
         self.table, self.maxsize = state
         self.hits = self.misses = self.evictions = 0
         self._memo = {}
@@ -363,7 +386,7 @@ class PackedBatch:
         self.sizes = array("Q")
         self.url_ids = array("L")
         self.urls: List[str] = []
-        self._url_index: Optional[dict] = {}
+        self._url_index: Optional[Dict[str, int]] = {}
 
     def append(self, client: int, url: str, size: int) -> None:
         index = self._url_index
@@ -409,17 +432,17 @@ class PackedBatch:
                                         self.sizes):
             yield client, urls[url_id], size
 
-    def __getstate__(self):
+    def __getstate__(self) -> _BatchState:
         return (self.addresses, self.sizes, self.url_ids, tuple(self.urls))
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: _BatchState) -> None:
         self.addresses, self.sizes, self.url_ids, urls = state
         self.urls = list(urls)
         self._url_index = None
 
 
 def build_lpm_table(
-    kind: str, merged: Any, memo_size: int = 0
+    kind: str, merged: "MergedPrefixTable", memo_size: int = 0
 ) -> Any:
     """Compile ``merged`` (a MergedPrefixTable) into an engine table.
 

@@ -159,7 +159,7 @@ class EngineMetrics:
     def render(self) -> str:
         """ASCII table of the snapshot, one metric per row."""
         snap = self.snapshot()
-        rows = []
+        rows: List[List[str]] = []
         for key in (
             "entries",
             "lookups",

@@ -28,10 +28,17 @@ from __future__ import annotations
 import hashlib
 from array import array
 from bisect import bisect_right
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.net.ipv4 import MAX_ADDRESS
 from repro.net.prefix import Prefix
+
+if TYPE_CHECKING:
+    from repro.bgp.table import MergedPrefixTable
+    from repro.net.radix import RadixTree
+
+#: The pickled form: the four flat slots, in declaration order.
+_PackedState = Tuple["array[int]", "array[int]", Tuple[Prefix, ...], Tuple[Any, ...]]
 
 __all__ = ["PackedLpm"]
 
@@ -89,12 +96,12 @@ class PackedLpm:
         return cls(ordered)
 
     @classmethod
-    def from_radix(cls, tree) -> "PackedLpm":
+    def from_radix(cls, tree: "RadixTree") -> "PackedLpm":
         """Compile from a :class:`~repro.net.radix.RadixTree`."""
         return cls(tree.export_entries())
 
     @classmethod
-    def from_merged(cls, table) -> "PackedLpm":
+    def from_merged(cls, table: "MergedPrefixTable") -> "PackedLpm":
         """Compile from a :class:`~repro.bgp.table.MergedPrefixTable`.
 
         Values are the table's :class:`~repro.bgp.table.LookupResult`
@@ -181,8 +188,8 @@ class PackedLpm:
 
     # -- pickling --------------------------------------------------------
 
-    def __getstate__(self):
+    def __getstate__(self) -> _PackedState:
         return (self._starts, self._owners, self._prefixes, self._values)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: _PackedState) -> None:
         self._starts, self._owners, self._prefixes, self._values = state

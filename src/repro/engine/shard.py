@@ -29,8 +29,10 @@ builds its retry/quarantine/degrade loop on that guarantee.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
+import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple,
 )
@@ -40,7 +42,7 @@ from repro.engine.fastpath import PackedBatch
 from repro.engine.metrics import EngineMetrics
 from repro.engine.packed import PackedLpm
 from repro.engine.state import ClusterStore, read_checkpoint, write_checkpoint
-from repro.errors import WorkerCrashError
+from repro.errors import InjectedFault, WorkerCrashError
 from repro.faults import (
     SITE_WORKER_SLOW,
     FaultInjector,
@@ -107,6 +109,30 @@ _WorkerJob = Tuple[PackedBatch, Optional[Tuple[int, str, float]]]
 #: its process-local :class:`~repro.engine.fastpath.MemoizedLookup`
 #: accumulated over the batch ((0, 0, 0) without a memo).
 _WorkerResult = Tuple[ClusterStore, Tuple[int, int, int]]
+
+#: The anticipated ways a pool round-trip fails: injected faults and
+#: assertion trips inside worker code, pipe/pickle transport failures
+#: (a worker that hard-exits snaps the result pipe), result-encoding
+#: failures, and the data-shape errors a poisoned batch can raise in
+#: ``apply_packed``.  Kept concrete so anything *outside* this set
+#: still terminates the pool but surfaces unwrapped instead of being
+#: mislabelled a retryable worker crash.
+_WORKER_FAILURE_ERRORS = (
+    InjectedFault,
+    AssertionError,
+    OSError,
+    EOFError,
+    pickle.PickleError,
+    multiprocessing.pool.MaybeEncodingError,
+    ValueError,
+    TypeError,
+    KeyError,
+    IndexError,
+    AttributeError,
+    ArithmeticError,
+    MemoryError,
+    RuntimeError,
+)
 
 
 def _init_worker(table: PackedLpm) -> None:
@@ -326,12 +352,20 @@ class ShardedClusterEngine:
                 f"{self.config.dispatch_timeout}s; a worker is hung or "
                 "died mid-task — pool terminated, chunk not applied"
             ) from exc
-        except Exception as exc:
+        except _WORKER_FAILURE_ERRORS as exc:
             self.terminate_pool()
             raise WorkerCrashError(
                 f"worker failed while processing a chunk ({exc!r}) — "
                 "pool terminated, chunk not applied"
             ) from exc
+        except BaseException:
+            # Anything outside the anticipated failure set (including
+            # KeyboardInterrupt) still terminates the possibly-wedged
+            # pool, but surfaces unwrapped: mislabelling an unknown bug
+            # as a worker crash would send the supervisor down the
+            # retry/quarantine path for something retries cannot fix.
+            self.terminate_pool()
+            raise
 
     def _execute_inline_directive(
         self, directive: Tuple[int, str, float]

@@ -45,7 +45,17 @@ import pickle
 import tempfile
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.clustering import Cluster, ClusterSet
 from repro.engine.packed import PackedLpm
@@ -56,6 +66,9 @@ from repro.errors import (
     CheckpointVersionError,
 )
 from repro.net.prefix import Prefix
+
+if TYPE_CHECKING:
+    from repro.engine.fastpath import PackedBatch
 
 __all__ = [
     "ClusterStore",
@@ -75,6 +88,25 @@ __all__ = [
 #: Version 2 wraps the payload in a CRC32-checked envelope.
 CHECKPOINT_MAGIC = "repro.engine.checkpoint"
 CHECKPOINT_VERSION = 2
+
+#: Everything ``pickle.loads`` (and the payload-shape accessors that
+#: follow it) can raise on corrupt, truncated, or foreign bytes.  Kept
+#: concrete — rather than ``except Exception`` — so an unrelated bug
+#: surfacing mid-decode (say, a repro.errors type from nested state)
+#: cannot be mislabelled as file corruption.
+_UNPICKLE_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    TypeError,
+    ValueError,
+    UnicodeDecodeError,
+    OverflowError,
+    MemoryError,
+)
 
 
 @dataclass
@@ -154,7 +186,7 @@ class ClusterStore:
         self.entries_applied += len(triples)
         return len(triples)
 
-    def apply_packed(self, batch: Any, table: PackedLpm) -> int:
+    def apply_packed(self, batch: "PackedBatch", table: PackedLpm) -> int:
         """Fold one :class:`~repro.engine.fastpath.PackedBatch` in.
 
         The flat-buffer twin of :meth:`apply_batch`: clients, sizes and
@@ -413,7 +445,7 @@ def read_checkpoint(
         raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
     try:
         envelope = pickle.loads(raw)
-    except Exception as exc:
+    except _UNPICKLE_ERRORS as exc:
         raise CheckpointCorruptError(
             f"checkpoint {path!r} is corrupt or truncated "
             f"(envelope does not decode: {exc})"
@@ -446,9 +478,7 @@ def read_checkpoint(
         ]
         meta = document.get("meta", {})
         stored_digest = document.get("table_digest", "")
-    except CheckpointError:
-        raise
-    except Exception as exc:
+    except _UNPICKLE_ERRORS as exc:
         raise CheckpointCorruptError(
             f"checkpoint {path!r} payload does not decode despite a valid "
             f"CRC ({exc}) — the file was not written by this code"

@@ -13,12 +13,7 @@ from typing import Dict, Optional
 
 from repro.bgp.synth import SnapshotFactory
 from repro.bgp.table import MergedPrefixTable
-from repro.core.clustering import (
-    METHOD_NETWORK_AWARE,
-    METHOD_SIMPLE,
-    ClusterSet,
-    cluster_log,
-)
+from repro.core.clustering import METHOD_NETWORK_AWARE, ClusterSet, cluster_log
 from repro.simnet.dns import SimulatedDns
 from repro.simnet.topology import Topology, TopologyConfig, generate_topology
 from repro.simnet.traceroute import SimulatedTraceroute

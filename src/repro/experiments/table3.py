@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import random
 
-from repro.core.metrics import prefix_length_histogram
 from repro.core.validation import (
     nslookup_validate,
     sample_clusters,

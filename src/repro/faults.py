@@ -44,7 +44,7 @@ import os
 import random
 import time
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.errors import InjectedFault
 

@@ -10,7 +10,7 @@ source of too-large clusters.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, Hashable, Iterable, List, Tuple, TypeVar
 
 from repro.net.prefix import Prefix
 

@@ -15,7 +15,17 @@ the LPM benchmark (see ``benchmarks/test_bench_lpm.py``):
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
+from typing import (
+    Any,
+    Dict,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from repro.net.ipv4 import mask_bits
 from repro.net.prefix import Prefix
@@ -59,7 +69,20 @@ class _IndexedBatchMixin:
     cost is irrelevant next to API parity.
     """
 
-    def _indexed_snapshot(self):
+    #: Lazily built (prefixes, values, prefix→index) snapshot; host
+    #: classes call :meth:`_invalidate_index` on mutation.
+    _indexed: Optional[Tuple[Tuple[Prefix, ...], Tuple[Any, ...], Dict[Prefix, int]]] = None
+
+    # Provided by the host engine class (duck-typed mixin contract).
+    def items(self) -> Iterator[Tuple[Prefix, Any]]:
+        raise NotImplementedError
+
+    def longest_match(self, address: int) -> Optional[Tuple[Prefix, Any]]:
+        raise NotImplementedError
+
+    def _indexed_snapshot(
+        self,
+    ) -> Tuple[Tuple[Prefix, ...], Tuple[Any, ...], Dict[Prefix, int]]:
         cache = getattr(self, "_indexed", None)
         if cache is None:
             pairs = list(self.items())
@@ -77,7 +100,7 @@ class _IndexedBatchMixin:
         """The prefix of entry ``index`` (as returned by lookups)."""
         return self._indexed_snapshot()[0][index]
 
-    def value(self, index: int):
+    def value(self, index: int) -> Any:
         """The value of entry ``index`` (as returned by lookups)."""
         return self._indexed_snapshot()[1][index]
 
@@ -93,7 +116,7 @@ class _IndexedBatchMixin:
         match_index = self.match_index
         return [match_index(address) for address in addresses]
 
-    def lookup(self, address: int):
+    def lookup(self, address: int) -> Any:
         """Return the matched entry's value, or None on miss."""
         match = self.longest_match(address)
         if match is None:
@@ -196,7 +219,7 @@ class SortedLpm(_IndexedBatchMixin, LpmEngine[V]):
         return iter(sorted(pairs, key=lambda kv: kv[0].sort_key()))
 
 
-def build_engine(kind: str, entries: Iterable[Tuple[Prefix, V]]):
+def build_engine(kind: str, entries: Iterable[Tuple[Prefix, V]]) -> Any:
     """Construct an LPM structure of ``kind`` over ``entries``.
 
     Mutable kinds — ``"radix"``, ``"linear"``, ``"sorted"`` — insert

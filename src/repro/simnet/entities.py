@@ -13,7 +13,7 @@ traceroute probes read the real network.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 from repro.net.prefix import Prefix
 

@@ -9,10 +9,9 @@ numbers.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
-from repro.simnet.entities import AsKind, EntityKind
 from repro.simnet.topology import Topology
 
 __all__ = ["TopologySummary", "summarize_topology"]

@@ -28,7 +28,6 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.net.ipv4 import format_ipv4
 from repro.net.prefix import Prefix
 from repro.net.radix import RadixTree
 from repro.simnet.entities import (

@@ -21,7 +21,7 @@ down.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, List
 
 from repro.bgp.table import MergedPrefixTable, RouteEntry, RoutingTable
 from repro.net.prefix import Prefix

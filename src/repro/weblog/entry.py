@@ -14,7 +14,6 @@ import calendar
 import re
 import time as _time
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.net.ipv4 import format_ipv4, parse_ipv4
 

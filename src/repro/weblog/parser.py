@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import calendar
 import re
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO
 
 from repro.weblog.entry import _MONTH_INDEX, LogEntry, LogFormatError
 

@@ -22,7 +22,6 @@ Sun        (large)     (large)   116,274      (n/a)     spider + proxy
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 from repro.simnet.topology import Topology
 from repro.weblog.synth import (

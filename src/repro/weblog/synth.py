@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import random
 
@@ -354,11 +354,9 @@ def _capped_allocation(
         if weight_sum <= 0 or remaining <= 0:
             break
         saturated = []
-        assigned_this_round = 0
         for i in active:
             share = max(1, round(remaining * weights[i] / weight_sum))
             counts[i] = min(cap, counts[i] + share)
-            assigned_this_round += share
             if counts[i] >= cap:
                 saturated.append(i)
         remaining = budget - sum(counts)

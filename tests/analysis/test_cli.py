@@ -1,0 +1,86 @@
+"""repro-lint CLI behaviour: exit codes, formats, selection."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import main
+
+BAD_SNIPPET = textwrap.dedent(
+    """
+    def collect(into=[]):
+        return into
+    """
+)
+
+CLEAN_SNIPPET = textwrap.dedent(
+    """
+    def collect(into=None):
+        return into if into is not None else []
+    """
+)
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text(CLEAN_SNIPPET)
+    assert main([str(tmp_path)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_findings_exit_one_with_human_lines(tmp_path, capsys):
+    target = tmp_path / "bad.py"
+    target.write_text(BAD_SNIPPET)
+    assert main([str(target)]) == 1
+    captured = capsys.readouterr()
+    assert "[mutable-default]" in captured.out
+    assert str(target) in captured.out
+    assert "1 finding(s)" in captured.err
+
+
+def test_json_format_is_machine_readable(tmp_path, capsys):
+    target = tmp_path / "bad.py"
+    target.write_text(BAD_SNIPPET)
+    assert main(["--format=json", str(target)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["rule"] == "mutable-default"
+    assert payload[0]["path"] == str(target)
+    assert payload[0]["line"] == 2
+
+
+def test_select_and_ignore_scope_the_run(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(BAD_SNIPPET)
+    assert main(["--select=broad-except", str(target)]) == 0
+    assert main(["--ignore=mutable-default", str(target)]) == 0
+    assert main(["--select=mutable-default", str(target)]) == 1
+
+
+def test_unknown_rule_id_is_usage_error(tmp_path):
+    (tmp_path / "ok.py").write_text(CLEAN_SNIPPET)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--select=no-such-rule", str(tmp_path)])
+    assert excinfo.value.code == 2
+
+
+def test_missing_path_is_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["definitely/not/a/path"])
+    assert excinfo.value.code == 2
+
+
+def test_unparsable_file_reports_syntax_error_finding(tmp_path, capsys):
+    target = tmp_path / "broken.py"
+    target.write_text("def broken(:\n")
+    assert main(["--format=json", str(target)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["rule"] == "syntax-error"
+
+
+def test_list_rules_prints_catalogue(capsys):
+    assert main(["--list-rules"]) == 0
+    output = capsys.readouterr().out
+    assert "unseeded-random" in output
+    assert "broad-except (suppression requires a reason)" in output

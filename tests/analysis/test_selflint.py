@@ -1,0 +1,23 @@
+"""The gate the CI job enforces: the tree lints clean at head."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, active_rules, lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.mark.skipif(not SRC.is_dir(), reason="src/ layout not present")
+def test_src_tree_lints_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_at_least_eight_rules_are_active():
+    rules = active_rules()
+    assert len(rules) >= 8
+    assert len(rules) == len(RULES)

@@ -6,7 +6,6 @@ so must we — by skipping bad records loudly-countably, never by
 crashing or silently mis-parsing.
 """
 
-import pytest
 
 from repro.bgp.archive import load_snapshot, save_snapshot
 from repro.bgp.table import MergedPrefixTable, RoutingTable

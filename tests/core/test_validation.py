@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.clustering import Cluster, cluster_log
 from repro.core.validation import (

@@ -5,7 +5,7 @@ import pickle
 
 import pytest
 
-from repro.core.clustering import cluster_log, cluster_log_engine
+from repro.core.clustering import cluster_log
 from repro.engine import (
     EngineConfig,
     MemoizedLookup,
@@ -14,9 +14,7 @@ from repro.engine import (
     ShardedClusterEngine,
     StrideLpm,
     build_lpm_table,
-    read_checkpoint,
     shard_of,
-    write_checkpoint,
 )
 from repro.engine.fastpath import DEFAULT_MEMO_SIZE, LPM_KINDS
 from repro.engine.state import ClusterStore

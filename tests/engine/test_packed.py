@@ -2,7 +2,6 @@
 
 import pickle
 
-import pytest
 
 from repro.engine.packed import PackedLpm
 from repro.net.prefix import Prefix

@@ -1,7 +1,6 @@
 """Unit tests for CIDR route aggregation."""
 
 from repro.net.aggregate import aggregate_prefixes, aggregate_routes, remove_covered
-from repro.net.ipv4 import parse_ipv4
 from repro.net.prefix import Prefix
 
 

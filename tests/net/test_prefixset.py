@@ -1,6 +1,5 @@
 """Unit + property tests for PrefixSet address-space algebra."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

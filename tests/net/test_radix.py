@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.net.ipv4 import parse_ipv4
 from repro.net.prefix import Prefix

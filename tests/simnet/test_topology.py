@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.simnet.entities import AsKind, EntityKind
-from repro.simnet.topology import TopologyConfig, generate_topology
+from repro.simnet.topology import generate_topology
 
 
 class TestGeneration:

@@ -6,7 +6,6 @@ from repro.simnet.traceroute import (
     CLASSIC_PROBES_PER_TTL,
     MAX_TTL,
     ProbeAccounting,
-    SimulatedTraceroute,
 )
 
 

@@ -1,6 +1,5 @@
 """Unit/integration tests for the synthetic workload generator."""
 
-import math
 
 from repro.weblog.stats import requests_by_client, summarize
 from repro.weblog.synth import ProxySpec, SpiderSpec, WorkloadSpec, generate_log
