@@ -1,8 +1,16 @@
 """repro.analysis — the repo-specific static-analysis pass.
 
-See :mod:`repro.analysis.core` for the engine and
-:mod:`repro.analysis.rules` for the rule catalogue; ``repro-lint``
-(:mod:`repro.analysis.cli`) is the command-line front end.
+See :mod:`repro.analysis.core` for the engine,
+:mod:`repro.analysis.rules` for the per-module rule catalogue, and
+:mod:`repro.analysis.xmodule` for the whole-program (cross-module)
+rules behind ``repro-lint --project``; :mod:`repro.analysis.sanitize`
+is the paired ``REPRO_SANITIZE=1`` runtime-invariant mode.
+``repro-lint`` (:mod:`repro.analysis.cli`) is the command-line front
+end.
+
+``xmodule`` and ``sanitize`` are deliberately *not* imported here:
+the engine's hot modules import ``repro.analysis.sanitize`` at import
+time, and keeping this package ``__init__`` minimal keeps that cheap.
 """
 
 from repro.analysis.core import (

@@ -1,9 +1,15 @@
 """``repro-lint`` — run the repo's static-analysis pass from the shell.
 
 Exit codes: 0 clean, 1 findings reported, 2 usage error (unknown rule
-id, no such path).  ``--format=json`` emits a stable machine-readable
-array for CI; the default human format is one ``path:line:col:
-[rule-id] message`` line per finding.
+id, no such path, unreadable baseline).  ``--format=json`` emits a
+stable machine-readable array for CI; the default human format is one
+``path:line:col: [rule-id] message`` line per finding.
+
+``--project`` additionally runs the cross-module rules of
+:mod:`repro.analysis.xmodule` over the whole tree (metrics drift,
+CLI/doc drift, fork safety, error-taxonomy reachability, checkpoint
+schema drift).  ``--baseline`` suppresses previously recorded findings
+so a new rule can land without blocking on legacy debt.
 """
 
 from __future__ import annotations
@@ -12,18 +18,23 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.core import RULES, active_rules, lint_paths
+from repro.analysis.core import RULES, Finding, active_rules, lint_paths
 
 __all__ = ["main", "build_parser"]
+
+#: Doc files ``--project`` auto-discovers next to (or one level above)
+#: each analyzed path, unless ``--doc`` overrides them.
+_DEFAULT_DOC_NAMES = ("README.md", "DESIGN.md")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="repo-specific static analysis (determinism, pickle "
-        "boundary, error taxonomy, parser discipline)",
+        "boundary, error taxonomy, parser discipline; --project adds the "
+        "cross-module drift and fork-safety rules)",
     )
     parser.add_argument(
         "paths",
@@ -50,6 +61,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip these rule ids (repeatable, comma-separable)",
     )
     parser.add_argument(
+        "--project",
+        action="store_true",
+        help="also run the whole-program (cross-module) rules over the tree",
+    )
+    parser.add_argument(
+        "--doc",
+        action="append",
+        metavar="FILE",
+        help="documentation file for the cli-doc-drift rule (repeatable; "
+        "default: README.md/DESIGN.md discovered near each path)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in FILE (a previous --format=json "
+        "report); lets new rules land without blocking on legacy findings",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -67,12 +96,53 @@ def _split_ids(values: Optional[Sequence[str]]) -> Optional[List[str]]:
 
 
 def _list_rules() -> str:
+    from repro.analysis.xmodule import PROJECT_RULES
+
     active_rules()  # force catalogue import
     lines = []
     for rule_id, rule in sorted(RULES.items()):
         marker = " (suppression requires a reason)" if rule.require_reason else ""
         lines.append(f"{rule_id}{marker}\n    {rule.summary}")
+    lines.append("")
+    lines.append("cross-module rules (--project):")
+    for rule_id, project_rule in sorted(PROJECT_RULES.items()):
+        lines.append(f"{rule_id}\n    {project_rule.summary}")
     return "\n".join(lines)
+
+
+def _default_docs(paths: Sequence[str]) -> List[Path]:
+    """README/DESIGN files living next to (or one above) each path."""
+    docs: List[Path] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        base = Path(raw).resolve()
+        directories = [base, base.parent] if base.is_dir() else [base.parent]
+        for directory in directories:
+            for name in _DEFAULT_DOC_NAMES:
+                candidate = directory / name
+                if candidate.is_file() and candidate not in seen:
+                    seen.add(candidate)
+                    docs.append(candidate)
+    return docs
+
+
+def _load_baseline(path: str) -> Set[Tuple[str, str, str]]:
+    """Baseline entries as (path, rule, message) — line/col are ignored
+    so unrelated edits above a legacy finding don't un-baseline it."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, list):
+        raise ValueError("baseline must be a JSON array of findings")
+    entries: Set[Tuple[str, str, str]] = set()
+    for item in data:
+        if isinstance(item, dict):
+            entries.add(
+                (
+                    str(item.get("path", "")),
+                    str(item.get("rule", "")),
+                    str(item.get("message", "")),
+                )
+            )
+    return entries
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -87,27 +157,80 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not Path(raw).exists():
             parser.error(f"no such path: {raw}")
 
-    try:
-        rules = active_rules(
-            select=_split_ids(args.select), ignore=_split_ids(args.ignore)
+    selected = _split_ids(args.select)
+    ignored = _split_ids(args.ignore)
+
+    if args.project:
+        from repro.analysis.xmodule import (
+            PROJECT_RULES,
+            Project,
+            active_project_rules,
+            analyze_project,
         )
-    except KeyError as exc:
-        parser.error(str(exc.args[0]) if exc.args else str(exc))
 
-    findings = lint_paths(args.paths, rules)
-
-    if args.format == "json":
-        print(json.dumps([finding.to_json() for finding in findings], indent=2))
+        active_rules()  # force catalogue import before validating ids
+        known = set(RULES) | set(PROJECT_RULES)
+        unknown = (set(selected or ()) | set(ignored or ())) - known
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        module_rules = active_rules(
+            select=None
+            if selected is None
+            else [rule for rule in selected if rule in RULES],
+            ignore=[rule for rule in ignored or () if rule in RULES],
+        )
+        project_rules = active_project_rules(
+            select=None
+            if selected is None
+            else [rule for rule in selected if rule in PROJECT_RULES],
+            ignore=[rule for rule in ignored or () if rule in PROJECT_RULES],
+        )
+        doc_paths: Sequence[Path] = (
+            [Path(doc) for doc in args.doc]
+            if args.doc
+            else _default_docs(args.paths)
+        )
+        for doc in doc_paths:
+            if not doc.is_file():
+                parser.error(f"no such doc file: {doc}")
+        findings = lint_paths(args.paths, module_rules)
+        project = Project.load(args.paths, docs=doc_paths)
+        findings.extend(analyze_project(project, project_rules))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     else:
-        for finding in findings:
-            print(finding.render())
-        if findings:
-            print(
-                f"repro-lint: {len(findings)} finding(s) across "
-                f"{len({f.path for f in findings})} file(s)",
-                file=sys.stderr,
-            )
+        try:
+            rules = active_rules(select=selected, ignore=ignored)
+        except KeyError as exc:
+            parser.error(str(exc.args[0]) if exc.args else str(exc))
+        findings = lint_paths(args.paths, rules)
+
+    if args.baseline:
+        try:
+            baseline = _load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot read baseline {args.baseline}: {exc}")
+        findings = [
+            finding
+            for finding in findings
+            if (finding.path, finding.rule_id, finding.message) not in baseline
+        ]
+
+    _emit(findings, args.format)
     return 1 if findings else 0
+
+
+def _emit(findings: Sequence[Finding], fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps([finding.to_json() for finding in findings], indent=2))
+        return
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"repro-lint: {len(findings)} finding(s) across "
+            f"{len({f.path for f in findings})} file(s)",
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":

@@ -50,7 +50,9 @@ from typing import (
     Tuple,
 )
 
+from repro.analysis import sanitize as _sanitize
 from repro.engine.packed import PackedLpm, _PackedState
+from repro.errors import SanitizeError
 from repro.net.prefix import Prefix
 
 if TYPE_CHECKING:
@@ -181,7 +183,19 @@ class StrideLpm(PackedLpm):
 
     def lookup_many(self, addresses: Iterable[int]) -> List[int]:
         """Batch lookup: one shift + one index per direct-slot address,
-        a run-bounded binary search otherwise."""
+        a run-bounded binary search otherwise.
+
+        Under ``REPRO_SANITIZE=1`` a sampled fraction of calls is
+        recomputed through the packed binary-search path and compared —
+        the stride overlay is an index, and an index that disagrees with
+        the data it indexes is the worst kind of silent corruption.
+        """
+        sanitizing = _sanitize.is_enabled()
+        if sanitizing:
+            # The cross-check re-reads the addresses, so a one-shot
+            # iterator must be materialised first (same values, so the
+            # clustering output is unchanged).
+            addresses = list(addresses)
         slots = self._slots
         runs = self._runs
         search = bisect_right
@@ -194,6 +208,15 @@ class StrideLpm(PackedLpm):
                 run_starts, run_owners = runs[slot]  # type: ignore[misc]
                 owner = run_owners[search(run_starts, address) - 1]
             append(owner)
+        if sanitizing and _sanitize.crosscheck_due():
+            expected = PackedLpm.lookup_many(self, addresses)
+            if expected != out:
+                raise SanitizeError(
+                    "stride/packed LPM cross-check failed: the stride "
+                    f"index disagrees with the packed intervals on a "
+                    f"batch of {len(out)} lookups"
+                )
+            _sanitize.record_crosscheck()
         return out
 
     # -- pickling --------------------------------------------------------

@@ -35,6 +35,10 @@ class EngineMetrics:
         self.memo_hits = 0
         self.memo_misses = 0
         self.memo_evictions = 0
+        self.sanitize_batch_checks = 0
+        self.sanitize_lpm_crosschecks = 0
+        self.sanitize_checkpoint_readbacks = 0
+        self.sanitize_rng_draws = 0
         self.degraded = False
         self.total_seconds = 0.0
         self.max_batch_seconds = 0.0
@@ -92,6 +96,22 @@ class EngineMetrics:
         self.memo_misses += misses
         self.memo_evictions += evictions
 
+    def record_sanitize(
+        self,
+        batch_checks: int,
+        lpm_crosschecks: int,
+        checkpoint_readbacks: int,
+        rng_draws: int,
+    ) -> None:
+        """Fold in one drain of :func:`repro.analysis.sanitize.take_stats`
+        (worker-reported for pooled chunks, driver-side after inline
+        chunks and checkpoint writes).  All-zero when ``REPRO_SANITIZE``
+        is off."""
+        self.sanitize_batch_checks += batch_checks
+        self.sanitize_lpm_crosschecks += lpm_crosschecks
+        self.sanitize_checkpoint_readbacks += checkpoint_readbacks
+        self.sanitize_rng_draws += rng_draws
+
     def record_degraded(self) -> None:
         """The run fell back to inline (single-process) ingestion."""
         self.degraded = True
@@ -146,6 +166,10 @@ class EngineMetrics:
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
             "memo_evictions": self.memo_evictions,
+            "sanitize_batch_checks": self.sanitize_batch_checks,
+            "sanitize_lpm_crosschecks": self.sanitize_lpm_crosschecks,
+            "sanitize_checkpoint_readbacks": self.sanitize_checkpoint_readbacks,
+            "sanitize_rng_draws": self.sanitize_rng_draws,
             "degraded": int(self.degraded),
             "num_shards": self.num_shards,
             "total_seconds": self.total_seconds,
@@ -175,12 +199,17 @@ class EngineMetrics:
             "memo_hits",
             "memo_misses",
             "memo_evictions",
+            "sanitize_batch_checks",
+            "sanitize_lpm_crosschecks",
+            "sanitize_checkpoint_readbacks",
+            "sanitize_rng_draws",
             "degraded",
             "num_shards",
         ):
             rows.append([key, format_count(int(snap[key]))])
         rows.append(["entries_per_second", f"{snap['entries_per_second']:,.0f}"])
         rows.append(["memo_hit_rate", f"{snap['memo_hit_rate']:.3f}"])
+        rows.append(["total_seconds", f"{snap['total_seconds']:.6f}"])
         rows.append(["mean_batch_seconds", f"{snap['mean_batch_seconds']:.6f}"])
         rows.append(["max_batch_seconds", f"{snap['max_batch_seconds']:.6f}"])
         rows.append(["shard_skew", f"{snap['shard_skew']:.3f}"])

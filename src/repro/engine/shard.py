@@ -37,6 +37,7 @@ from typing import (
     Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple,
 )
 
+from repro.analysis import sanitize as _sanitize
 from repro.core.clustering import ClusterSet
 from repro.engine.fastpath import PackedBatch
 from repro.engine.metrics import EngineMetrics
@@ -105,10 +106,12 @@ _WORKER_TABLE: Optional[PackedLpm] = None
 #: the driver decided on dispatch.
 _WorkerJob = Tuple[PackedBatch, Optional[Tuple[int, str, float]]]
 
-#: What a worker sends back: its partial state plus the memo counters
-#: its process-local :class:`~repro.engine.fastpath.MemoizedLookup`
-#: accumulated over the batch ((0, 0, 0) without a memo).
-_WorkerResult = Tuple[ClusterStore, Tuple[int, int, int]]
+#: What a worker sends back: its partial state, the memo counters its
+#: process-local :class:`~repro.engine.fastpath.MemoizedLookup`
+#: accumulated over the batch ((0, 0, 0) without a memo), and the
+#: drained :mod:`repro.analysis.sanitize` counters (all zero unless
+#: ``REPRO_SANITIZE`` armed the worker's invariant checks).
+_WorkerResult = Tuple[ClusterStore, Tuple[int, int, int], Tuple[int, int, int, int]]
 
 #: The anticipated ways a pool round-trip fails: injected faults and
 #: assertion trips inside worker code, pipe/pickle transport failures
@@ -149,7 +152,7 @@ def _process_batch(job: _WorkerJob) -> _WorkerResult:
     store.apply_packed(batch, _WORKER_TABLE)
     take = getattr(_WORKER_TABLE, "take_memo_stats", None)
     memo_stats = take() if take is not None else (0, 0, 0)
-    return store, memo_stats
+    return store, memo_stats, _sanitize.take_stats()
 
 
 # -- driver side ----------------------------------------------------------
@@ -309,9 +312,10 @@ class ShardedClusterEngine:
                 for shard, batch in enumerate(packed_batches)
             ]
             results = self._dispatch_to_pool(jobs)
-            for shard, (partial, memo_stats) in enumerate(results):
+            for shard, (partial, memo_stats, sanitize_stats) in enumerate(results):
                 self._stores[shard].merge(partial)
                 self.metrics.record_memo(*memo_stats)
+                self.metrics.record_sanitize(*sanitize_stats)
         elapsed = time.perf_counter() - began
         self.metrics.record_batch(counts, elapsed, lookups=len(triples))
         return len(triples)
@@ -323,6 +327,8 @@ class ShardedClusterEngine:
         take = getattr(self.table, "take_memo_stats", None)
         if take is not None:
             self.metrics.record_memo(*take())
+        if _sanitize.is_enabled():
+            self.metrics.record_sanitize(*_sanitize.take_stats())
 
     @staticmethod
     def _partition(
@@ -436,6 +442,9 @@ class ShardedClusterEngine:
             path, self._stores, table_digest=self.table.digest(), meta=meta
         )
         self.metrics.record_checkpoint()
+        if _sanitize.is_enabled():
+            # The write itself performed (and counted) a read-back.
+            self.metrics.record_sanitize(*_sanitize.take_stats())
 
     @classmethod
     def resume(

@@ -57,6 +57,7 @@ from typing import (
     Tuple,
 )
 
+from repro.analysis import sanitize as _sanitize
 from repro.core.clustering import Cluster, ClusterSet
 from repro.engine.packed import PackedLpm
 from repro.errors import (
@@ -195,6 +196,8 @@ class ClusterStore:
         and results are identical to :meth:`apply_batch` over
         ``batch.iter_triples()``.
         """
+        if _sanitize.is_enabled():
+            _sanitize.guard_batch(batch)
         indices = table.lookup_many(batch.addresses)
         count = len(indices)
         self.lookups_performed += count
@@ -415,8 +418,16 @@ def write_checkpoint(
     ``table_digest`` (see :meth:`PackedLpm.digest`) records which prefix
     set the accumulated lookups were resolved against; a restore that
     supplies a digest refuses to resume against a different table.
+
+    Under ``REPRO_SANITIZE=1`` every write is immediately re-read and
+    re-verified through :func:`read_checkpoint` — the same CRC, version
+    and digest gauntlet the resume path runs — so a checkpoint that
+    could not be restored fails *now*, not hours later.
     """
     _write_atomic(path, serialize_checkpoint(stores, table_digest, meta))
+    if _sanitize.is_enabled():
+        read_checkpoint(path, table_digest=table_digest)
+        _sanitize.record_checkpoint_readback()
 
 
 def read_checkpoint(

@@ -41,6 +41,7 @@ from repro.engine.state import CheckpointCorruptError, read_checkpoint
 from repro.errors import (
     ChunkQuarantinedError,
     DegradedModeWarning,
+    SupervisionError,
     WorkerCrashError,
 )
 
@@ -189,13 +190,28 @@ class SupervisedEngine:
             except WorkerCrashError as exc:
                 attempts += 1
                 self._consecutive_failures += 1
-                if (
-                    self.config.allow_degraded
-                    and not self.degraded
-                    and self._consecutive_failures >= self.config.degrade_after
-                ):
+                stalled = (
+                    self._consecutive_failures >= self.config.degrade_after
+                )
+                if stalled and self.config.allow_degraded and not self.degraded:
                     self._degrade(exc)
                     continue
+                if (
+                    stalled
+                    and not self.config.allow_degraded
+                    and not self.config.allow_quarantine
+                ):
+                    # No recovery lever is left: the pool keeps dying
+                    # and the operator disallowed both the inline
+                    # fallback and dropping chunks.  Distinct from
+                    # ChunkQuarantinedError (one poisonous chunk): this
+                    # is the *run* being unable to make progress.
+                    raise SupervisionError(
+                        f"worker pool keeps dying "
+                        f"({self._consecutive_failures} consecutive dispatch "
+                        "failures) and both degraded fallback and quarantine "
+                        "are disallowed"
+                    ) from exc
                 if attempts <= self.config.max_retries:
                     self.metrics.record_retry()
                     self._sleep(self.config.backoff_seconds(attempts))

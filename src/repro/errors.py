@@ -38,6 +38,7 @@ __all__ = [
     "ChunkQuarantinedError",
     "SupervisionError",
     "InjectedFault",
+    "SanitizeError",
     "DegradedModeWarning",
 ]
 
@@ -110,6 +111,20 @@ class InjectedFault(ReproError, RuntimeError):
     def __init__(self, site: str, message: str = "") -> None:
         super().__init__(message or f"injected fault at {site!r}")
         self.site = site
+
+
+# -- runtime sanitizers ----------------------------------------------------
+
+
+class SanitizeError(ReproError, RuntimeError):
+    """A ``REPRO_SANITIZE=1`` invariant check failed at runtime.
+
+    Raised by :mod:`repro.analysis.sanitize` when an armed invariant —
+    a stride/packed LPM cross-check, a :class:`PackedBatch` consistency
+    guard — observes a violation.  This is never a data error: it means
+    the engine's own internal contracts drifted, so the run must stop
+    rather than produce silently wrong clusters.
+    """
 
 
 # -- warnings --------------------------------------------------------------

@@ -85,7 +85,12 @@ def main(argv: List[str] = None) -> int:
         default=["all"],
         help="experiment ids (e.g. fig3 table4) or 'all'",
     )
-    parser.add_argument("--seed", type=int, default=2000)
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=2000,
+        help="master seed every workload derives from (default: 2000)",
+    )
     parser.add_argument(
         "--scale",
         type=float,

@@ -84,3 +84,119 @@ def test_list_rules_prints_catalogue(capsys):
     output = capsys.readouterr().out
     assert "unseeded-random" in output
     assert "broad-except (suppression requires a reason)" in output
+    assert "cross-module rules (--project):" in output
+    assert "fork-safety" in output
+
+
+RACY_SNIPPET = textwrap.dedent(
+    """
+    def _work(job):
+        return job
+
+
+    def dispatch(pool, jobs):
+        pool.map_async(_work, jobs)
+        jobs.append("sentinel")
+    """
+)
+
+
+class TestProjectMode:
+    def test_project_finding_exits_one(self, tmp_path, capsys):
+        (tmp_path / "driver.py").write_text(RACY_SNIPPET)
+        assert main(["--project", str(tmp_path)]) == 1
+        assert "[fork-safety]" in capsys.readouterr().out
+
+    def test_project_clean_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN_SNIPPET)
+        assert main(["--project", str(tmp_path)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_select_accepts_project_rule_ids(self, tmp_path):
+        (tmp_path / "driver.py").write_text(RACY_SNIPPET)
+        assert main(["--project", "--select=fork-safety", str(tmp_path)]) == 1
+        assert main(["--project", "--select=metrics-drift",
+                     str(tmp_path)]) == 0
+        assert main(["--project", "--ignore=fork-safety", str(tmp_path)]) == 0
+
+    def test_project_unknown_rule_is_usage_error(self, tmp_path):
+        (tmp_path / "ok.py").write_text(CLEAN_SNIPPET)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--project", "--select=no-such-rule", str(tmp_path)])
+        assert excinfo.value.code == 2
+
+    def test_doc_flag_feeds_cli_doc_drift(self, tmp_path, capsys):
+        (tmp_path / "cli.py").write_text(textwrap.dedent(
+            """
+            import argparse
+
+            def build():
+                parser = argparse.ArgumentParser()
+                parser.add_argument("--mystery-flag")
+                return parser
+            """
+        ))
+        doc = tmp_path / "MANUAL.md"
+        doc.write_text("No flags documented here.\n")
+        assert main(["--project", "--select=cli-doc-drift",
+                     "--doc", str(doc), str(tmp_path)]) == 1
+        assert "--mystery-flag" in capsys.readouterr().out
+
+    def test_missing_doc_file_is_usage_error(self, tmp_path):
+        (tmp_path / "ok.py").write_text(CLEAN_SNIPPET)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--project", "--doc", str(tmp_path / "nope.md"),
+                  str(tmp_path)])
+        assert excinfo.value.code == 2
+
+
+class TestBaseline:
+    def test_baseline_round_trip_suppresses(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(BAD_SNIPPET)
+        assert main(["--format=json", str(target)]) == 1
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(capsys.readouterr().out)
+        assert main(["--baseline", str(baseline), str(target)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_baseline_survives_line_shifts(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(BAD_SNIPPET)
+        assert main(["--format=json", str(target)]) == 1
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(capsys.readouterr().out)
+        target.write_text("# a new comment shifts everything down\n"
+                          + BAD_SNIPPET)
+        assert main(["--baseline", str(baseline), str(target)]) == 0
+
+    def test_new_findings_still_reported(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(BAD_SNIPPET)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("[]")
+        assert main(["--baseline", str(baseline), str(target)]) == 1
+        assert "[mutable-default]" in capsys.readouterr().out
+
+    def test_baseline_applies_to_project_findings(self, tmp_path, capsys):
+        (tmp_path / "driver.py").write_text(RACY_SNIPPET)
+        assert main(["--project", "--format=json", str(tmp_path)]) == 1
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(capsys.readouterr().out)
+        assert main(["--project", "--baseline", str(baseline),
+                     str(tmp_path)]) == 0
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path):
+        (tmp_path / "ok.py").write_text(CLEAN_SNIPPET)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--baseline", str(tmp_path / "missing.json"),
+                  str(tmp_path)])
+        assert excinfo.value.code == 2
+
+    def test_non_array_baseline_is_usage_error(self, tmp_path):
+        (tmp_path / "ok.py").write_text(CLEAN_SNIPPET)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"not": "an array"}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--baseline", str(baseline), str(tmp_path)])
+        assert excinfo.value.code == 2

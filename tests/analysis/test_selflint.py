@@ -21,3 +21,26 @@ def test_at_least_eight_rules_are_active():
     rules = active_rules()
     assert len(rules) >= 8
     assert len(rules) == len(RULES)
+
+
+@pytest.mark.skipif(not SRC.is_dir(), reason="src/ layout not present")
+def test_src_tree_is_clean_under_project_analysis():
+    """The --project acceptance gate: zero cross-module findings at head."""
+    from repro.analysis.xmodule import Project, analyze_project
+
+    docs = [
+        doc
+        for doc in (SRC.parent / "README.md", SRC.parent / "DESIGN.md")
+        if doc.is_file()
+    ]
+    project = Project.load([SRC], docs=docs)
+    findings = analyze_project(project)
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_at_least_five_project_rules_are_active():
+    from repro.analysis.xmodule import PROJECT_RULES, active_project_rules
+
+    rules = active_project_rules()
+    assert len(rules) >= 5
+    assert len(rules) == len(PROJECT_RULES)

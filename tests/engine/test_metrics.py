@@ -51,6 +51,8 @@ class TestExport:
             "worker_restarts", "chunk_retries", "chunks_quarantined",
             "entries_quarantined", "checkpoint_rewrites", "degraded",
             "memo_hits", "memo_misses", "memo_evictions",
+            "sanitize_batch_checks", "sanitize_lpm_crosschecks",
+            "sanitize_checkpoint_readbacks", "sanitize_rng_draws",
             "total_seconds", "mean_batch_seconds", "max_batch_seconds",
             "entries_per_second", "shard_skew", "memo_hit_rate",
         }

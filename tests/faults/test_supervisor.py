@@ -217,6 +217,22 @@ class TestDegradedMode:
         assert supervised.ingest_triples(iter(TRIPLES)) == 0
         assert not supervised.degraded
 
+    def test_all_escapes_disallowed_is_supervision_error(self, packed):
+        # With degraded fallback AND quarantine both off, a pool that
+        # keeps dying has no recovery path left: the supervisor must
+        # say so explicitly rather than retry forever.
+        from repro.errors import SupervisionError
+
+        supervised = SupervisedEngine(
+            _engine(packed, _crash_plan(count=-1)),
+            SupervisorConfig(
+                max_retries=5, backoff_base=0, degrade_after=2,
+                allow_degraded=False, allow_quarantine=False,
+            ),
+        )
+        with pytest.raises(SupervisionError, match="keeps dying"):
+            supervised.ingest_triples(iter(TRIPLES))
+
 
 class TestVerifiedCheckpoints:
     def _corrupt_plan(self, count):
