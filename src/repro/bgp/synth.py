@@ -21,11 +21,14 @@ registry sources lift clusterable clients from ~99 % to ~99.9 %
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.bgp.sources import DEFAULT_SOURCES, SourceSpec
 from repro.bgp.table import (
+    KIND_BGP,
     KIND_REGISTRY,
     MergedPrefixTable,
     RouteEntry,
@@ -33,9 +36,15 @@ from repro.bgp.table import (
 )
 from repro.net.prefix import Prefix
 from repro.simnet.topology import Topology
-from repro.util.rng import derive_seed
+from repro.util.rng import derive_seed, make_rng
 
-__all__ = ["SnapshotFactory", "SnapshotTime", "build_merged_table"]
+__all__ = [
+    "SnapshotFactory",
+    "SnapshotTime",
+    "RouteDelta",
+    "DeltaGenerator",
+    "build_merged_table",
+]
 
 
 def _hash01(seed: int, label: str) -> float:
@@ -210,6 +219,273 @@ class SnapshotFactory:
             cursor = (cursor - size) & ~(size - 1)
             yield Prefix(cursor, length)
             produced += 1
+
+
+@dataclass(frozen=True)
+class RouteDelta:
+    """One incremental routing event: an announce or a withdraw.
+
+    The JSON form doubles as the serve-stream wire format
+    (:mod:`repro.serve.protocol`): ``type`` is the operation, ``prefix``
+    is CIDR text, and ``reason`` records which churn process produced
+    the event (``churn``, ``flap``, ``aggregation``, ``deaggregation``)
+    so traces stay debuggable.
+    """
+
+    op: str
+    prefix: Prefix
+    origin_asn: int = 0
+    source: str = ""
+    reason: str = ""
+
+    OP_ANNOUNCE = "announce"
+    OP_WITHDRAW = "withdraw"
+
+    def __post_init__(self) -> None:
+        if self.op not in (self.OP_ANNOUNCE, self.OP_WITHDRAW):
+            raise ValueError(f"unknown delta op: {self.op!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.op,
+            "prefix": self.prefix.cidr,
+            "origin_asn": self.origin_asn,
+            "source": self.source,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RouteDelta":
+        return cls(
+            op=str(data["type"]),
+            prefix=Prefix.from_cidr(str(data["prefix"])),
+            origin_asn=int(data.get("origin_asn", 0)),
+            source=str(data.get("source", "")),
+            reason=str(data.get("reason", "")),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RouteDelta":
+        return cls.from_dict(json.loads(text))
+
+
+class DeltaGenerator:
+    """Seeded stream of incremental routing events for one vantage.
+
+    Drives the serve daemon the way a live BGP feed would: the base
+    churn process replays the §3.4 visibility model slot-by-slot (the
+    same intra-day dynamics ``bgp.dynamics.study_dynamics`` measures for
+    period 0), and on top of it the generator mixes in route flaps,
+    deaggregation (a live block splits into its two halves) and
+    aggregation (a sibling pair collapses back into its live parent).
+    Every event is a :class:`RouteDelta`; the live set is tracked so a
+    withdraw is only ever emitted for a currently-announced prefix.
+    """
+
+    #: Mix of extra event processes layered over the base churn stream.
+    FLAP_FRACTION = 0.25
+    DEAGGREGATE_FRACTION = 0.08
+    AGGREGATE_FRACTION = 0.06
+
+    def __init__(
+        self,
+        factory: SnapshotFactory,
+        source: Optional[SourceSpec] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.factory = factory
+        if source is None:
+            source = next(
+                spec for spec in factory.sources if spec.kind == KIND_BGP
+            )
+        self.source = source
+        self._rng = make_rng(
+            derive_seed(
+                factory.seed if seed is None else seed, "delta-stream"
+            )
+        )
+        self._origins: Dict[Prefix, int] = dict(factory._announcements)
+        self._when = SnapshotTime(0, 0)
+        self._live: Dict[Prefix, int] = {
+            prefix: origin_asn
+            for prefix, origin_asn in factory._announcements
+            if factory._visible(source, prefix, self._when)
+        }
+        # Generated-but-not-yet-emitted events: bursts are produced
+        # whole, so :meth:`events` queues the overflow here and the
+        # next call drains it first — successive calls concatenate into
+        # one coherent stream.
+        self._pending: Deque[RouteDelta] = deque()
+        # The live set as seen by a consumer of the *emitted* stream
+        # (``_live`` runs ahead of it by the queued events).
+        self._emitted_live: Set[Prefix] = set(self._live)
+
+    # -- observation -----------------------------------------------------
+
+    @property
+    def live_prefixes(self) -> Tuple[Prefix, ...]:
+        """Prefixes announced by the emitted stream, in table order.
+
+        Tracks the events :meth:`events` has actually handed out — a
+        consumer replaying them over the day-0 snapshot lands on
+        exactly this set.
+        """
+        return tuple(sorted(self._emitted_live, key=Prefix.sort_key))
+
+    def _ordered_live(self) -> Tuple[Prefix, ...]:
+        """Generation-state live set (includes queued events' effects)."""
+        return tuple(sorted(self._live, key=Prefix.sort_key))
+
+    # -- event processes -------------------------------------------------
+
+    def _announce(self, prefix: Prefix, origin_asn: int, reason: str) -> RouteDelta:
+        self._live[prefix] = origin_asn
+        return RouteDelta(
+            op=RouteDelta.OP_ANNOUNCE,
+            prefix=prefix,
+            origin_asn=origin_asn,
+            source=self.source.name,
+            reason=reason,
+        )
+
+    def _withdraw(self, prefix: Prefix, reason: str) -> RouteDelta:
+        origin_asn = self._live.pop(prefix)
+        return RouteDelta(
+            op=RouteDelta.OP_WITHDRAW,
+            prefix=prefix,
+            origin_asn=origin_asn,
+            source=self.source.name,
+            reason=reason,
+        )
+
+    def step(self) -> List[RouteDelta]:
+        """Advance one snapshot slot and emit the visibility churn.
+
+        Diffs the §3.4 visibility model between consecutive intra-day
+        slots — exactly the period-0 dynamic-prefix process of Table 4 —
+        and converts the difference into withdraw/announce events.
+        """
+        from repro.bgp.dynamics import INTRADAY_SLOTS
+
+        slot = self._when.slot + 1
+        day = self._when.day
+        if slot >= INTRADAY_SLOTS:
+            slot = 0
+            day += 1
+        self._when = SnapshotTime(day, slot)
+        events: List[RouteDelta] = []
+        factory, source = self.factory, self.source
+        for prefix, origin_asn in factory._announcements:
+            visible = factory._visible(source, prefix, self._when)
+            if visible and prefix not in self._live:
+                events.append(self._announce(prefix, origin_asn, "churn"))
+            elif not visible and prefix in self._live:
+                events.append(self._withdraw(prefix, "churn"))
+        return events
+
+    def flap(self) -> List[RouteDelta]:
+        """One route flap: a live prefix withdrawn and re-announced."""
+        if not self._live:
+            return []
+        prefix = self._rng.choice(self._ordered_live())
+        origin_asn = self._live[prefix]
+        return [
+            self._withdraw(prefix, "flap"),
+            self._announce(prefix, origin_asn, "flap"),
+        ]
+
+    def deaggregate(self) -> List[RouteDelta]:
+        """Announce the two more-specific halves of a live block."""
+        candidates = [
+            prefix
+            for prefix in self._ordered_live()
+            if prefix.length <= 24
+            and all(child not in self._live for child in prefix.children())
+        ]
+        if not candidates:
+            return []
+        prefix = self._rng.choice(candidates)
+        origin_asn = self._live[prefix]
+        return [
+            self._announce(child, origin_asn, "deaggregation")
+            for child in prefix.children()
+        ]
+
+    def aggregate(self) -> List[RouteDelta]:
+        """Withdraw a sibling pair whose covering parent stays live."""
+        live = self._live
+        candidates = []
+        for prefix in self._ordered_live():
+            if prefix.length == 0:
+                continue
+            sibling = prefix.sibling()
+            if (
+                sibling is not None
+                and sibling in live
+                and prefix < sibling
+                and prefix.parent() in live
+            ):
+                candidates.append(prefix)
+        if not candidates:
+            return []
+        prefix = self._rng.choice(candidates)
+        sibling = prefix.sibling()
+        assert sibling is not None  # length > 0 guaranteed above
+        return [
+            self._withdraw(prefix, "aggregation"),
+            self._withdraw(sibling, "aggregation"),
+        ]
+
+    # -- stream ----------------------------------------------------------
+
+    def events(self, count: int) -> List[RouteDelta]:
+        """Emit exactly ``count`` events, resuming where the last call
+        stopped.
+
+        The mix is seeded: flaps, deaggregation and aggregation are
+        drawn per roll; everything else advances the churn clock.  A
+        quiet spell (several rolls producing nothing) forces a flap so
+        the stream never stalls.  Bursts are generated whole; overflow
+        past ``count`` waits in the pending queue for the next call, so
+        successive calls concatenate into one coherent stream and
+        :attr:`live_prefixes` always matches the events handed out.
+        """
+        emitted: List[RouteDelta] = []
+        quiet = 0
+        while len(emitted) < count:
+            if self._pending:
+                delta = self._pending.popleft()
+                if delta.op == RouteDelta.OP_WITHDRAW:
+                    self._emitted_live.discard(delta.prefix)
+                else:
+                    self._emitted_live.add(delta.prefix)
+                emitted.append(delta)
+                continue
+            roll = self._rng.random()
+            if roll < self.FLAP_FRACTION:
+                burst = self.flap()
+            elif roll < self.FLAP_FRACTION + self.DEAGGREGATE_FRACTION:
+                burst = self.deaggregate()
+            elif roll < (
+                self.FLAP_FRACTION
+                + self.DEAGGREGATE_FRACTION
+                + self.AGGREGATE_FRACTION
+            ):
+                burst = self.aggregate()
+            else:
+                burst = self.step()
+            if burst:
+                quiet = 0
+                self._pending.extend(burst)
+            else:
+                quiet += 1
+                if quiet >= 3:
+                    self._pending.extend(self.flap())
+                    quiet = 0
+        return emitted
 
 
 def build_merged_table(

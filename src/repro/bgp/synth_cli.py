@@ -1,0 +1,151 @@
+"""``repro-bgp-synth``: synthetic event streams for the serve daemon.
+
+The feeder half of the live pipeline.  It builds the same deterministic
+world the test-suite uses (topology → snapshots → weblog) and prints
+ndjson events :mod:`repro.serve.protocol` decodes::
+
+    # routing deltas alone (announce/withdraw/flap/aggregation churn)
+    repro-bgp-synth --deltas 500 > deltas.ndjson
+
+    # a mixed stream: weblog requests with a delta every 250 events
+    repro-bgp-synth --stream 100000 --delta-every 250 \\
+        --write-tables dumps/ | repro-engine serve --stdin \\
+        --table dumps/AADS.dump
+
+``--write-tables`` dumps the delta source's day-0 snapshot, so the
+served table starts from exactly the routing state the generator's
+live set tracks — withdraws always name announced prefixes.
+Everything is seeded: the same flags produce the same bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.bgp.sources import source_by_name
+from repro.bgp.synth import DeltaGenerator, RouteDelta, SnapshotFactory
+from repro.serve.protocol import LogEvent
+from repro.simnet.topology import TopologyConfig, generate_topology
+from repro.weblog.presets import make_log
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bgp-synth",
+        description=(
+            "Generate seeded ndjson event streams — BGP route deltas, "
+            "optionally mixed with synthetic weblog requests — for "
+            "repro-engine serve."
+        ),
+    )
+    what = parser.add_mutually_exclusive_group(required=True)
+    what.add_argument(
+        "--deltas", type=int, default=None, metavar="N",
+        help="emit N routing delta events and exit",
+    )
+    what.add_argument(
+        "--stream", type=int, default=None, metavar="N",
+        help="emit a mixed stream of N events: weblog requests with "
+             "routing deltas interleaved every --delta-every events",
+    )
+    parser.add_argument(
+        "--delta-every", type=int, default=250, metavar="K",
+        help="in --stream mode, one routing delta after every K "
+             "events (default 250)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2000, metavar="SEED",
+        help="world seed: topology, snapshots, weblog and delta stream "
+             "all derive from it (default 2000)",
+    )
+    parser.add_argument(
+        "--source", default="AADS", metavar="NAME",
+        help="routing source the deltas replay (a Table 1 BGP source; "
+             "default AADS, the 2-hourly vantage)",
+    )
+    parser.add_argument(
+        "--preset", default="nagano", metavar="NAME",
+        help="weblog preset for --stream log events (default nagano)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.12, metavar="F",
+        help="weblog preset scale factor (default 0.12)",
+    )
+    parser.add_argument(
+        "--write-tables", metavar="DIR", default=None,
+        help="also write the delta source's day-0 snapshot dump to "
+             "DIR/<source>.dump — the initial table a serve run should "
+             "load",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.delta_every < 1:
+        parser.error("--delta-every must be >= 1")
+
+    topology = generate_topology(TopologyConfig(seed=args.seed))
+    factory = SnapshotFactory(topology)
+    source = source_by_name(args.source)
+    generator = DeltaGenerator(factory, source=source, seed=args.seed)
+
+    if args.write_tables:
+        os.makedirs(args.write_tables, exist_ok=True)
+        snapshot = factory.snapshot(source)
+        path = os.path.join(args.write_tables, f"{source.name}.dump")
+        with open(path, "w") as handle:
+            for line in snapshot.to_lines():
+                handle.write(line + "\n")
+        print(
+            f"wrote {len(snapshot):,} routes to {path}", file=sys.stderr
+        )
+
+    out = sys.stdout
+    if args.deltas is not None:
+        for delta in generator.events(args.deltas):
+            out.write(delta.to_json() + "\n")
+        return 0
+
+    total = args.stream
+    num_deltas = total // args.delta_every
+    deltas: List[RouteDelta] = (
+        generator.events(num_deltas) if num_deltas else []
+    )
+    log = make_log(topology, args.preset, scale=args.scale, seed=args.seed)
+    entries = log.log.entries
+    if not entries:
+        print("preset produced an empty log", file=sys.stderr)
+        return 1
+    emitted = 0
+    cursor = 0
+    delta_cursor = 0
+    while emitted < total:
+        if (
+            delta_cursor < len(deltas)
+            and emitted
+            and emitted % args.delta_every == 0
+        ):
+            out.write(deltas[delta_cursor].to_json() + "\n")
+            delta_cursor += 1
+        else:
+            entry = entries[cursor % len(entries)]
+            cursor += 1
+            out.write(
+                LogEvent(
+                    client=entry.client, url=entry.url, size=entry.size
+                ).to_json()
+                + "\n"
+            )
+        emitted += 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,10 @@ the chaos-testing entry point.  Checkpoints are atomic and
 CRC-verified after every write; a corrupt file fails ``--resume`` with
 a specific, actionable error instead of garbage state.
 
+``repro-engine serve ...`` switches to the long-lived daemon mode
+(:mod:`repro.serve`): an ndjson stream of weblog requests and BGP
+deltas, applied to the live table in place.
+
 Checkpoint files are pickle-based: only ``--resume`` from files you
 wrote yourself (see :mod:`repro.engine.state`).
 """
@@ -252,8 +256,16 @@ def _write_checkpoint(
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "serve":
+        # The daemon mode lives in its own package; ``repro-engine
+        # serve ...`` hands the rest of the command line over.
+        from repro.serve.cli import serve_main
+
+        code: int = serve_main(arguments[1:])
+        return code
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     if not args.table:
         parser.error("the engine needs at least one --table dump")
     if args.checkpoint_every and not args.checkpoint:

@@ -51,7 +51,7 @@ from typing import (
 )
 
 from repro.analysis import sanitize as _sanitize
-from repro.engine.packed import PackedLpm, _PackedState
+from repro.engine.packed import PackedLpm, PatchResult, _PackedState
 from repro.errors import SanitizeError
 from repro.net.prefix import Prefix
 
@@ -159,6 +159,83 @@ class StrideLpm(PackedLpm):
         """How many of the 2^16 slots resolve without any search."""
         return sum(1 for owner in self._slots if owner >= -1)
 
+    # -- in-place patching -----------------------------------------------
+
+    def apply_delta(
+        self,
+        announce: Sequence[Tuple[Prefix, Any]] = (),
+        withdraw: Sequence[Prefix] = (),
+    ) -> PatchResult:
+        """Patch the packed layout, then repair the stride overlay.
+
+        Outside the patch's address windows the interval *boundaries*
+        are untouched — entry indices merely shifted — so those slots
+        and runs only need the index remap applied.  Slots overlapping
+        a window are rebuilt from the patched intervals with the same
+        monotone walk compilation uses, which keeps the overlay
+        bit-identical to a from-scratch :class:`StrideLpm` (the
+        :meth:`verify_patched` gate compares ``_slots`` and ``_runs``
+        too).
+        """
+        result = super().apply_delta(announce, withdraw)
+        remap = result.remap
+        if remap is None:
+            return result
+        slots = self._slots
+        self._slots = array(
+            "q", [remap[owner] if owner >= 0 else owner for owner in slots]
+        )
+        runs = self._runs
+        for slot, run in enumerate(runs):
+            if run is not None:
+                run_starts, run_owners = run
+                runs[slot] = (
+                    run_starts,
+                    [remap[o] if o >= 0 else o for o in run_owners],
+                )
+        for low, high in result.windows:
+            self._rebuild_slots(low >> _STRIDE_SHIFT, high >> _STRIDE_SHIFT)
+        return result
+
+    def _rebuild_slots(self, first_slot: int, last_slot: int) -> None:
+        """Recompile slots ``first_slot..last_slot`` (inclusive) from the
+        current intervals — the windowed version of :meth:`_build_stride`,
+        seeded by one bisect instead of walking from slot zero."""
+        starts = self._starts
+        owners = self._owners
+        num_intervals = len(starts)
+        slots = self._slots
+        runs = self._runs
+        index = bisect_right(starts, first_slot << _STRIDE_SHIFT) - 1
+        for slot in range(first_slot, last_slot + 1):
+            base = slot << _STRIDE_SHIFT
+            end = base + _NUM_SLOTS
+            while index + 1 < num_intervals and starts[index + 1] <= base:
+                index += 1
+            last = index
+            while last + 1 < num_intervals and starts[last + 1] < end:
+                last += 1
+            if last == index:
+                slots[slot] = owners[index]
+                runs[slot] = None
+            else:
+                slots[slot] = _INDIRECT
+                run_starts = [base]
+                run_starts.extend(starts[index + 1:last + 1])
+                runs[slot] = (run_starts, list(owners[index:last + 1]))
+                index = last
+
+    def verify_patched(self) -> None:
+        """Equivalence gate, extended to the stride overlay."""
+        super().verify_patched()
+        rebuilt = StrideLpm(list(zip(self._prefixes, self._values)))
+        if rebuilt._slots != self._slots or rebuilt._runs != self._runs:
+            raise SanitizeError(
+                "patched StrideLpm overlay diverged from a from-scratch "
+                f"rebuild at epoch {self.epoch}: the stride index no "
+                "longer mirrors the packed intervals"
+            )
+
     # -- lookups ---------------------------------------------------------
 
     def match_index(self, address: int) -> int:
@@ -256,7 +333,10 @@ class MemoizedLookup:
     its own memo over its own shard's clients.
     """
 
-    __slots__ = ("table", "maxsize", "hits", "misses", "evictions", "_memo")
+    __slots__ = (
+        "table", "maxsize", "hits", "misses", "evictions", "_memo",
+        "_table_epoch",
+    )
 
     def __init__(self, table: Any, maxsize: int = DEFAULT_MEMO_SIZE) -> None:
         if maxsize < 1:
@@ -267,6 +347,71 @@ class MemoizedLookup:
         self.misses = 0
         self.evictions = 0
         self._memo: Dict[int, int] = {}
+        self._table_epoch = int(getattr(table, "epoch", 0))
+
+    # -- patch-aware invalidation ----------------------------------------
+
+    def _sync_epoch(self) -> None:
+        """Safety net: if the table was patched without
+        :meth:`apply_patch` being called, drop the whole memo rather
+        than serve stale indices.  One int compare on the happy path."""
+        epoch = getattr(self.table, "epoch", 0)
+        if epoch != self._table_epoch:
+            self._memo.clear()
+            self._table_epoch = epoch
+
+    def apply_delta(
+        self,
+        announce: Sequence[Tuple[Prefix, Any]] = (),
+        withdraw: Sequence[Prefix] = (),
+    ) -> PatchResult:
+        """Patch the wrapped table and selectively invalidate the memo
+        in one step (see :meth:`PackedLpm.apply_delta`)."""
+        result: PatchResult = self.table.apply_delta(announce, withdraw)
+        self.apply_patch(result)
+        return result
+
+    def apply_patch(self, result: PatchResult) -> int:
+        """Fold one :class:`~repro.engine.packed.PatchResult` into the
+        memo: entries inside an affected window are evicted (their
+        longest match may have changed), every other entry has the
+        index remap applied.  Returns the number of evicted entries.
+
+        Far cheaper than a wholesale clear on the heavy-tailed client
+        streams the memo exists for: a routing delta touches a few
+        address windows, while the memo holds the whole working set.
+        """
+        self._table_epoch = int(getattr(self.table, "epoch", 0))
+        remap = result.remap
+        if remap is None:
+            return 0
+        window_lows = [window[0] for window in result.windows]
+        window_highs = [window[1] for window in result.windows]
+        fresh: Dict[int, int] = {}
+        dropped = 0
+        for address, owner in self._memo.items():
+            spot = bisect_right(window_lows, address) - 1
+            if spot >= 0 and address <= window_highs[spot]:
+                dropped += 1
+                continue
+            fresh[address] = remap[owner] if owner >= 0 else owner
+        self._memo = fresh
+        self.evictions += dropped
+        return dropped
+
+    def verify_patched(self) -> None:
+        """Delegate the equivalence gate to the wrapped table."""
+        self.table.verify_patched()
+
+    @property
+    def epoch(self) -> int:
+        """The wrapped table's patch generation counter."""
+        return int(getattr(self.table, "epoch", 0))
+
+    @property
+    def deltas_applied(self) -> int:
+        """The wrapped table's lifetime applied-delta count."""
+        return int(getattr(self.table, "deltas_applied", 0))
 
     # -- memoized lookups ------------------------------------------------
 
@@ -278,6 +423,7 @@ class MemoizedLookup:
         (misses are collected first, resolved in one table batch);
         the memo stores it once and later batches hit.
         """
+        self._sync_epoch()
         memo = self._memo
         get = memo.get
         out: List[int] = []
@@ -311,6 +457,7 @@ class MemoizedLookup:
         return out
 
     def match_index(self, address: int) -> int:
+        self._sync_epoch()
         owner = self._memo.get(address, _ABSENT)
         if owner is _ABSENT:
             owner = self.table.match_index(address)
@@ -384,6 +531,7 @@ class MemoizedLookup:
         self.table, self.maxsize = state
         self.hits = self.misses = self.evictions = 0
         self._memo = {}
+        self._table_epoch = int(getattr(self.table, "epoch", 0))
 
 
 class PackedBatch:

@@ -35,6 +35,11 @@ class EngineMetrics:
         self.memo_hits = 0
         self.memo_misses = 0
         self.memo_evictions = 0
+        self.routes_announced = 0
+        self.routes_withdrawn = 0
+        self.clients_reclustered = 0
+        self.patches_applied = 0
+        self.patch_rebuild_fallbacks = 0
         self.sanitize_batch_checks = 0
         self.sanitize_lpm_crosschecks = 0
         self.sanitize_checkpoint_readbacks = 0
@@ -42,6 +47,7 @@ class EngineMetrics:
         self.degraded = False
         self.total_seconds = 0.0
         self.max_batch_seconds = 0.0
+        self.patch_seconds = 0.0
         self.shard_entries: List[int] = [0] * self.num_shards
 
     # -- recording -------------------------------------------------------
@@ -96,6 +102,23 @@ class EngineMetrics:
         self.memo_misses += misses
         self.memo_evictions += evictions
 
+    def record_patch(
+        self, announced: int, withdrawn: int, reclustered: int, seconds: float
+    ) -> None:
+        """Record one applied routing delta batch: routes announced and
+        withdrawn in place, clients whose cluster assignment moved, and
+        the wall time spent patching tables and reclustering."""
+        self.patches_applied += 1
+        self.routes_announced += announced
+        self.routes_withdrawn += withdrawn
+        self.clients_reclustered += reclustered
+        self.patch_seconds += seconds
+
+    def record_patch_fallback(self) -> None:
+        """A delta batch was too large to patch in place and the serve
+        loop rebuilt the table from scratch instead."""
+        self.patch_rebuild_fallbacks += 1
+
     def record_sanitize(
         self,
         batch_checks: int,
@@ -129,6 +152,12 @@ class EngineMetrics:
         if self.batches == 0:
             return 0.0
         return self.total_seconds / self.batches
+
+    @property
+    def mean_patch_seconds(self) -> float:
+        if self.patches_applied == 0:
+            return 0.0
+        return self.patch_seconds / self.patches_applied
 
     @property
     def memo_hit_rate(self) -> float:
@@ -166,6 +195,11 @@ class EngineMetrics:
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
             "memo_evictions": self.memo_evictions,
+            "routes_announced": self.routes_announced,
+            "routes_withdrawn": self.routes_withdrawn,
+            "clients_reclustered": self.clients_reclustered,
+            "patches_applied": self.patches_applied,
+            "patch_rebuild_fallbacks": self.patch_rebuild_fallbacks,
             "sanitize_batch_checks": self.sanitize_batch_checks,
             "sanitize_lpm_crosschecks": self.sanitize_lpm_crosschecks,
             "sanitize_checkpoint_readbacks": self.sanitize_checkpoint_readbacks,
@@ -175,6 +209,8 @@ class EngineMetrics:
             "total_seconds": self.total_seconds,
             "mean_batch_seconds": self.mean_batch_seconds,
             "max_batch_seconds": self.max_batch_seconds,
+            "patch_seconds": self.patch_seconds,
+            "mean_patch_seconds": self.mean_patch_seconds,
             "entries_per_second": self.entries_per_second,
             "memo_hit_rate": self.memo_hit_rate,
             "shard_skew": self.shard_skew,
@@ -199,6 +235,11 @@ class EngineMetrics:
             "memo_hits",
             "memo_misses",
             "memo_evictions",
+            "routes_announced",
+            "routes_withdrawn",
+            "clients_reclustered",
+            "patches_applied",
+            "patch_rebuild_fallbacks",
             "sanitize_batch_checks",
             "sanitize_lpm_crosschecks",
             "sanitize_checkpoint_readbacks",
@@ -212,5 +253,7 @@ class EngineMetrics:
         rows.append(["total_seconds", f"{snap['total_seconds']:.6f}"])
         rows.append(["mean_batch_seconds", f"{snap['mean_batch_seconds']:.6f}"])
         rows.append(["max_batch_seconds", f"{snap['max_batch_seconds']:.6f}"])
+        rows.append(["patch_seconds", f"{snap['patch_seconds']:.6f}"])
+        rows.append(["mean_patch_seconds", f"{snap['mean_patch_seconds']:.6f}"])
         rows.append(["shard_skew", f"{snap['shard_skew']:.3f}"])
         return render_table(["metric", "value"], rows, title="engine metrics")

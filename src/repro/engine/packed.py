@@ -1,12 +1,21 @@
 """Immutable, array-packed longest-prefix-match table.
 
 The radix trie (:class:`repro.net.radix.RadixTree`) is the right
-structure for a table that changes; the clustering engine's table does
-not change between routing-snapshot swaps, so it can be *compiled*: the
-prefix set is flattened into the disjoint address intervals it induces
-(nested prefixes project onto their most-specific covering entry), and
-a lookup becomes one binary search over a flat integer array instead of
-a pointer-chasing trie walk.
+structure for a table that changes entry by entry; the clustering
+engine's table changes rarely (snapshot swaps, live BGP deltas), so it
+can be *compiled*: the prefix set is flattened into the disjoint
+address intervals it induces (nested prefixes project onto their
+most-specific covering entry), and a lookup becomes one binary search
+over a flat integer array instead of a pointer-chasing trie walk.
+
+Route churn is applied *in place* with :meth:`PackedLpm.apply_delta`:
+a batch of announcements/withdrawals splices the interval layout only
+inside the affected address windows, preserving every compile
+invariant, so the patched table is indistinguishable from a
+from-scratch rebuild (:meth:`PackedLpm.verify_patched` enforces this).
+Each successful patch bumps an epoch counter that downstream caches
+(:class:`~repro.engine.fastpath.MemoizedLookup`, cluster assignments)
+use for selective invalidation via the returned :class:`PatchResult`.
 
 Layout — three parallel, flat sequences:
 
@@ -27,9 +36,21 @@ from __future__ import annotations
 
 import hashlib
 from array import array
-from bisect import bisect_right
-from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Tuple
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from repro.errors import SanitizeError
 from repro.net.ipv4 import MAX_ADDRESS
 from repro.net.prefix import Prefix
 
@@ -37,10 +58,64 @@ if TYPE_CHECKING:
     from repro.bgp.table import MergedPrefixTable
     from repro.net.radix import RadixTree
 
-#: The pickled form: the four flat slots, in declaration order.
-_PackedState = Tuple["array[int]", "array[int]", Tuple[Prefix, ...], Tuple[Any, ...]]
+#: The pickled form: the four flat slots plus the generation counters,
+#: in declaration order.
+_PackedState = Tuple[
+    "array[int]", "array[int]", Tuple[Prefix, ...], Tuple[Any, ...], int, int
+]
 
-__all__ = ["PackedLpm"]
+__all__ = ["PackedLpm", "PatchResult", "merge_windows"]
+
+
+@dataclass(frozen=True)
+class PatchResult:
+    """Outcome of one :meth:`PackedLpm.apply_delta` batch.
+
+    ``windows`` are the merged, sorted, inclusive address ranges whose
+    longest-match answer *may* have changed — the selective-invalidation
+    contract for :class:`~repro.engine.fastpath.MemoizedLookup` and
+    :meth:`~repro.engine.state.ClusterStore.reassign_clients`: any
+    address outside every window resolves to the same prefix as before
+    (possibly at a shifted entry index).
+
+    ``remap`` maps every pre-patch entry index to its post-patch index.
+    Surviving entries map to their shifted position; withdrawn entries
+    map to the final index of their most specific remaining covering
+    prefix (their new longest match), or ``-1`` when nothing covers
+    them.  ``None`` means no structural change happened (value-only
+    updates), so existing indices are still valid as-is.
+    """
+
+    epoch: int
+    announced: int
+    withdrawn: int
+    value_updates: int
+    noop_withdrawals: int
+    windows: Tuple[Tuple[int, int], ...]
+    remap: Optional[Tuple[int, ...]]
+
+    @property
+    def structural(self) -> bool:
+        """True when entry indices shifted (inserts or withdrawals)."""
+        return self.remap is not None
+
+
+def merge_windows(
+    spans: Iterable[Tuple[int, int]]
+) -> Tuple[Tuple[int, int], ...]:
+    """Merge inclusive address ranges into sorted disjoint windows.
+
+    Adjacent ranges coalesce too (``[a, b] + [b+1, c] -> [a, c]``), so
+    the result is the minimal window set for a given delta batch.
+    """
+    merged: List[Tuple[int, int]] = []
+    for low, high in sorted(spans):
+        if merged and low <= merged[-1][1] + 1:
+            if high > merged[-1][1]:
+                merged[-1] = (merged[-1][0], high)
+        else:
+            merged.append((low, high))
+    return tuple(merged)
 
 
 class PackedLpm:
@@ -51,9 +126,14 @@ class PackedLpm:
     deduplicated, ``sort_key``-ordered entry list.
     """
 
-    __slots__ = ("_starts", "_owners", "_prefixes", "_values")
+    __slots__ = (
+        "_starts", "_owners", "_prefixes", "_values", "_epoch",
+        "_deltas_applied",
+    )
 
     def __init__(self, entries: Sequence[Tuple[Prefix, Any]]) -> None:
+        self._epoch = 0
+        self._deltas_applied = 0
         self._prefixes: Tuple[Prefix, ...] = tuple(p for p, _ in entries)
         self._values: Tuple[Any, ...] = tuple(v for _, v in entries)
         starts = array("Q", [0])
@@ -125,6 +205,20 @@ class PackedLpm:
         """Number of disjoint address intervals in the packed layout."""
         return len(self._starts)
 
+    @property
+    def epoch(self) -> int:
+        """Generation counter: bumped by every :meth:`apply_delta` that
+        changed anything.  Caches keyed on lookup results (memos,
+        cluster assignments) compare epochs to detect a table that
+        mutated underneath them."""
+        return self._epoch
+
+    @property
+    def deltas_applied(self) -> int:
+        """Total route events (announce/withdraw) applied in place over
+        this table's lifetime (noop withdrawals excluded)."""
+        return self._deltas_applied
+
     def items(self) -> Iterable[Tuple[Prefix, Any]]:
         """Iterate ``(prefix, value)`` entries in address order."""
         return zip(self._prefixes, self._values)
@@ -186,10 +280,255 @@ class PackedLpm:
         search = bisect_right
         return [owners[search(starts, address) - 1] for address in addresses]
 
+    # -- in-place patching -----------------------------------------------
+
+    def apply_delta(
+        self,
+        announce: Sequence[Tuple[Prefix, Any]] = (),
+        withdraw: Sequence[Prefix] = (),
+    ) -> PatchResult:
+        """Apply one batch of BGP route deltas *in place*.
+
+        ``announce`` upserts entries (an already-present prefix becomes
+        a value update — no structural change); ``withdraw`` removes
+        entries (absent prefixes are counted as noops, the idempotent
+        re-withdrawals live BGP feeds produce).  A prefix both announced
+        and withdrawn in the same batch is a caller error — event
+        streams must coalesce to one final operation per prefix first.
+
+        The patch preserves every compile invariant of ``__init__``:
+        entries stay ``sort_key``-ordered, and the interval layout is
+        re-derived only inside the affected address windows, so the
+        patched table is *indistinguishable* from a from-scratch rebuild
+        at the new routing state — same entry indices, same intervals,
+        same ``digest()``.  :meth:`verify_patched` checks exactly that.
+
+        Returns a :class:`PatchResult` carrying the index remap and the
+        affected address windows that downstream caches need for
+        selective invalidation.
+        """
+        prefixes = self._prefixes
+        old_count = len(prefixes)
+
+        def _position(prefix: Prefix) -> int:
+            """Index of ``prefix`` among current entries, or -1."""
+            spot = bisect_left(prefixes, prefix)
+            if spot < old_count and prefixes[spot] == prefix:
+                return spot
+            return -1
+
+        updates: Dict[int, Any] = {}
+        inserts: Dict[Prefix, Any] = {}
+        for prefix, value in announce:
+            spot = _position(prefix)
+            if spot >= 0:
+                updates[spot] = value
+                inserts.pop(prefix, None)
+            else:
+                inserts[prefix] = value
+        removed: Set[int] = set()
+        noop_withdrawals = 0
+        for prefix in withdraw:
+            if prefix in inserts:
+                raise ValueError(
+                    f"prefix {prefix.cidr} both announced and withdrawn in "
+                    "one delta batch — coalesce the event stream first"
+                )
+            spot = _position(prefix)
+            if spot >= 0:
+                if spot in updates:
+                    raise ValueError(
+                        f"prefix {prefix.cidr} both announced and withdrawn "
+                        "in one delta batch — coalesce the event stream first"
+                    )
+                removed.add(spot)
+            else:
+                noop_withdrawals += 1
+
+        if not inserts and not removed:
+            # Value-only fast path: indices and intervals are untouched,
+            # so no cache needs invalidating (memo entries store indices
+            # and values are fetched through the table on use).
+            if updates:
+                values = list(self._values)
+                for spot, value in updates.items():
+                    values[spot] = value
+                self._values = tuple(values)
+                self._epoch += 1
+                self._deltas_applied += len(updates)
+            return PatchResult(
+                epoch=self._epoch,
+                announced=len(updates),
+                withdrawn=0,
+                value_updates=len(updates),
+                noop_withdrawals=noop_withdrawals,
+                windows=(),
+                remap=None,
+            )
+
+        # 1. The final entry list: survivors (with updates folded in)
+        #    merged with the sorted inserts, plus the old->new remap.
+        old_values = self._values
+        insert_items = sorted(inserts.items(), key=lambda kv: kv[0].sort_key())
+        insert_count = len(insert_items)
+        new_prefixes: List[Prefix] = []
+        new_values: List[Any] = []
+        remap: List[int] = [-1] * old_count
+        inserted_positions: List[int] = []
+        pending = 0
+        for position in range(old_count):
+            prefix = prefixes[position]
+            while pending < insert_count and insert_items[pending][0] < prefix:
+                inserted_positions.append(len(new_prefixes))
+                new_prefixes.append(insert_items[pending][0])
+                new_values.append(insert_items[pending][1])
+                pending += 1
+            if position in removed:
+                continue
+            remap[position] = len(new_prefixes)
+            new_prefixes.append(prefix)
+            new_values.append(updates.get(position, old_values[position]))
+        while pending < insert_count:
+            inserted_positions.append(len(new_prefixes))
+            new_prefixes.append(insert_items[pending][0])
+            new_values.append(insert_items[pending][1])
+            pending += 1
+
+        # 2. Withdrawn entries remap to their new longest match: the
+        #    most specific remaining cover.  Covers of a prefix sort in
+        #    increasing specificity, so the first cover found walking
+        #    backward from the withdrawn prefix's sorted position is it.
+        for position in sorted(removed):
+            prefix = prefixes[position]
+            probe = bisect_left(new_prefixes, prefix)
+            for candidate in range(probe - 1, -1, -1):
+                if new_prefixes[candidate].contains_prefix(prefix):
+                    remap[position] = candidate
+                    break
+
+        # 3. One remap pass over the interval owners.  Mapping each
+        #    withdrawn entry's intervals to its cover makes withdrawal a
+        #    pure relabelling; the coalesce fold restores the canonical
+        #    no-adjacent-equal-owners invariant where labels merged.
+        starts = array("Q")
+        owners = array("q")
+        last_owner: Optional[int] = None
+        for start, owner in zip(self._starts, self._owners):
+            mapped = remap[owner] if owner >= 0 else -1
+            if mapped != last_owner:
+                starts.append(start)
+                owners.append(mapped)
+                last_owner = mapped
+
+        # 4. Splice each inserted prefix into its address window, taking
+        #    over every piece owned by a less specific entry (or by no
+        #    one) and leaving nested more-specific survivors alone.
+        #    Inserts are processed in sorted order, so a same-batch
+        #    cover is always spliced before the specifics it contains.
+        for final_index in inserted_positions:
+            prefix = new_prefixes[final_index]
+            low = prefix.network
+            high = prefix.last_address
+            left = bisect_right(starts, low) - 1
+            right = bisect_right(starts, high) - 1
+            piece_starts: List[int] = []
+            piece_owners: List[int] = []
+            if starts[left] < low:
+                piece_starts.append(starts[left])
+                piece_owners.append(owners[left])
+            for segment in range(left, right + 1):
+                segment_owner = owners[segment]
+                if (
+                    segment_owner < 0
+                    or new_prefixes[segment_owner].length < prefix.length
+                ):
+                    segment_owner = final_index
+                if piece_owners and piece_owners[-1] == segment_owner:
+                    continue
+                piece_starts.append(max(starts[segment], low))
+                piece_owners.append(segment_owner)
+            if high < MAX_ADDRESS:
+                boundary = (
+                    starts[right + 1]
+                    if right + 1 < len(starts)
+                    else MAX_ADDRESS + 1
+                )
+                if boundary > high + 1 and piece_owners[-1] != owners[right]:
+                    piece_starts.append(high + 1)
+                    piece_owners.append(owners[right])
+            starts = (
+                starts[:left] + array("Q", piece_starts) + starts[right + 1:]
+            )
+            owners = (
+                owners[:left] + array("q", piece_owners) + owners[right + 1:]
+            )
+
+        windows = merge_windows(
+            [(item[0].network, item[0].last_address) for item in insert_items]
+            + [
+                (prefixes[position].network, prefixes[position].last_address)
+                for position in removed
+            ]
+        )
+        self._prefixes = tuple(new_prefixes)
+        self._values = tuple(new_values)
+        self._starts = starts
+        self._owners = owners
+        self._epoch += 1
+        self._deltas_applied += len(updates) + insert_count + len(removed)
+        return PatchResult(
+            epoch=self._epoch,
+            announced=len(updates) + insert_count,
+            withdrawn=len(removed),
+            value_updates=len(updates),
+            noop_withdrawals=noop_withdrawals,
+            windows=windows,
+            remap=tuple(remap),
+        )
+
+    def restore_generation(self, epoch: int, deltas_applied: int) -> None:
+        """Adopt another table's generation counters.
+
+        The serve daemon's rebuild fallback compiles a fresh table (so
+        its counters restart at zero) to *replace* a long-patched one;
+        carrying the old generation forward keeps epoch monotonicity —
+        which is what memo safety nets and checkpoints key on.
+        """
+        self._epoch = epoch
+        self._deltas_applied = deltas_applied
+
+    def verify_patched(self) -> None:
+        """Equivalence gate: the patched layout must be bit-identical to
+        a from-scratch compile of the current entry set.
+
+        Raises :class:`~repro.errors.SanitizeError` on any divergence —
+        an incremental patch that drifts from the rebuild it promises to
+        equal is silent corruption, never a recoverable condition.
+        """
+        rebuilt = PackedLpm(list(zip(self._prefixes, self._values)))
+        if rebuilt._starts != self._starts or rebuilt._owners != self._owners:
+            raise SanitizeError(
+                "patched PackedLpm diverged from a from-scratch rebuild: "
+                f"{len(self._starts)} intervals in the patched layout vs "
+                f"{len(rebuilt._starts)} rebuilt "
+                f"(epoch {self._epoch}, {len(self._prefixes)} entries)"
+            )
+        if rebuilt.digest() != self.digest():
+            raise SanitizeError(
+                "patched PackedLpm digest diverged from a from-scratch "
+                f"rebuild at epoch {self._epoch}"
+            )
+
     # -- pickling --------------------------------------------------------
 
     def __getstate__(self) -> _PackedState:
-        return (self._starts, self._owners, self._prefixes, self._values)
+        return (
+            self._starts, self._owners, self._prefixes, self._values,
+            self._epoch, self._deltas_applied,
+        )
 
     def __setstate__(self, state: _PackedState) -> None:
-        self._starts, self._owners, self._prefixes, self._values = state
+        (
+            self._starts, self._owners, self._prefixes, self._values,
+            self._epoch, self._deltas_applied,
+        ) = state

@@ -439,7 +439,12 @@ class ShardedClusterEngine:
         if extra_meta:
             meta.update(extra_meta)
         write_checkpoint(
-            path, self._stores, table_digest=self.table.digest(), meta=meta
+            path,
+            self._stores,
+            table_digest=self.table.digest(),
+            meta=meta,
+            routing_epoch=int(getattr(self.table, "epoch", 0)),
+            deltas_applied=int(getattr(self.table, "deltas_applied", 0)),
         )
         self.metrics.record_checkpoint()
         if _sanitize.is_enabled():

@@ -44,6 +44,7 @@ import os
 import pickle
 import tempfile
 import zlib
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -86,9 +87,11 @@ __all__ = [
 
 #: File-format identity and version; bump the version whenever the
 #: pickled payload layout changes so stale checkpoints fail loudly.
-#: Version 2 wraps the payload in a CRC32-checked envelope.
+#: Version 2 wraps the payload in a CRC32-checked envelope; version 3
+#: adds the routing generation (``routing_epoch`` / ``deltas_applied``)
+#: so ``repro-engine serve --resume`` can restart mid-stream.
 CHECKPOINT_MAGIC = "repro.engine.checkpoint"
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
 
 #: Everything ``pickle.loads`` (and the payload-shape accessors that
 #: follow it) can raise on corrupt, truncated, or foreign bytes.  Kept
@@ -131,6 +134,14 @@ class _ClusterState:
         if not self.source_kind:
             self.source_kind = other.source_kind
             self.source_name = other.source_name
+
+
+def _in_windows(
+    address: int, lows: Sequence[int], highs: Sequence[int]
+) -> bool:
+    """Is ``address`` inside the sorted disjoint inclusive windows?"""
+    slot = bisect_right(lows, address) - 1
+    return slot >= 0 and address <= highs[slot]
 
 
 class ClusterStore:
@@ -279,6 +290,87 @@ class ClusterStore:
         self.lookups_performed += other.lookups_performed
         return self
 
+    # -- incremental reclustering ----------------------------------------
+
+    def reassign_clients(
+        self, windows: Sequence[Tuple[int, int]], table: PackedLpm
+    ) -> int:
+        """Re-resolve only the clients a routing patch could have moved.
+
+        ``windows`` is the sorted, disjoint list of inclusive address
+        ranges a :meth:`PackedLpm.apply_delta` patch touched (see
+        :attr:`~repro.engine.packed.PatchResult.windows`).  Every
+        accumulated client whose address falls inside a window — and
+        every unclustered client that might now match — is looked up
+        once against the patched ``table``; assignments that changed
+        migrate to their new cluster, carrying the client's request
+        count and a proportional share of the old cluster's bytes.
+        Clients outside the windows are untouched: their longest match
+        cannot have changed, so this is the paper's self-correction run
+        as a selective online pass instead of a wholesale rebuild.
+
+        Returns the number of assignments that moved.
+        """
+        if not windows:
+            return 0
+        lows = [low for low, _ in windows]
+        highs = [high for _, high in windows]
+        candidates: List[Tuple[Optional[Prefix], int, int]] = []
+        for prefix in sorted(self._clusters, key=Prefix.sort_key):
+            # Windows are sorted and disjoint, so the last window that
+            # starts at or below the cluster's top address is the only
+            # one that can overlap it.
+            slot = bisect_right(lows, prefix.last_address) - 1
+            if slot < 0 or highs[slot] < prefix.network:
+                continue
+            state = self._clusters[prefix]
+            for client in sorted(state.client_counts):
+                if _in_windows(client, lows, highs):
+                    candidates.append(
+                        (prefix, client, state.client_counts[client])
+                    )
+        for client in sorted(self._unclustered):
+            if _in_windows(client, lows, highs):
+                candidates.append((None, client, self._unclustered[client]))
+        if not candidates:
+            return 0
+        indices = table.lookup_many([client for _, client, _ in candidates])
+        self.lookups_performed += len(candidates)
+        moved = 0
+        drained: Set[Prefix] = set()
+        for (old_prefix, client, count), index in zip(candidates, indices):
+            new_prefix = table.prefix(index) if index >= 0 else None
+            if new_prefix == old_prefix:
+                continue
+            moved += 1
+            share = 0
+            if old_prefix is not None:
+                state = self._clusters[old_prefix]
+                if state.requests > 0:
+                    share = state.total_bytes * count // state.requests
+                state.requests -= count
+                state.total_bytes -= share
+                del state.client_counts[client]
+                drained.add(old_prefix)
+            else:
+                del self._unclustered[client]
+            if index >= 0:
+                target = self._state_for(table, index)
+                target.requests += count
+                target.total_bytes += share
+                target.client_counts[client] = (
+                    target.client_counts.get(client, 0) + count
+                )
+            else:
+                self._unclustered[client] = (
+                    self._unclustered.get(client, 0) + count
+                )
+        for prefix in drained:
+            state = self._clusters.get(prefix)
+            if state is not None and not state.client_counts:
+                del self._clusters[prefix]
+        return moved
+
     # -- observation -----------------------------------------------------
 
     def snapshot(
@@ -347,6 +439,8 @@ def serialize_checkpoint(
     stores: Sequence[ClusterStore],
     table_digest: str = "",
     meta: Optional[Dict[str, Any]] = None,
+    routing_epoch: int = 0,
+    deltas_applied: int = 0,
 ) -> bytes:
     """Serialise shard ``stores`` into the on-disk envelope bytes.
 
@@ -354,11 +448,17 @@ def serialize_checkpoint(
     CRC32, and the payload as an opaque ``bytes`` field — so a reader
     can validate identity, version, and integrity *before* unpickling
     any engine state.
+
+    ``routing_epoch`` and ``deltas_applied`` record the live table's
+    patch generation (see :attr:`PackedLpm.epoch`) so a resumed serve
+    run can verify it replayed the same delta stream.
     """
     payload = pickle.dumps(
         {
             "table_digest": table_digest,
             "meta": dict(meta or {}),
+            "routing_epoch": routing_epoch,
+            "deltas_applied": deltas_applied,
             "shards": [store._payload() for store in stores],
         },
         protocol=pickle.HIGHEST_PROTOCOL,
@@ -412,6 +512,8 @@ def write_checkpoint(
     stores: Sequence[ClusterStore],
     table_digest: str = "",
     meta: Optional[Dict[str, Any]] = None,
+    routing_epoch: int = 0,
+    deltas_applied: int = 0,
 ) -> None:
     """Atomically write shard ``stores`` to ``path``.
 
@@ -424,7 +526,12 @@ def write_checkpoint(
     and digest gauntlet the resume path runs — so a checkpoint that
     could not be restored fails *now*, not hours later.
     """
-    _write_atomic(path, serialize_checkpoint(stores, table_digest, meta))
+    _write_atomic(
+        path,
+        serialize_checkpoint(
+            stores, table_digest, meta, routing_epoch, deltas_applied
+        ),
+    )
     if _sanitize.is_enabled():
         read_checkpoint(path, table_digest=table_digest)
         _sanitize.record_checkpoint_readback()
@@ -487,7 +594,9 @@ def read_checkpoint(
         stores = [
             ClusterStore._from_payload(part) for part in document["shards"]
         ]
-        meta = document.get("meta", {})
+        meta = dict(document.get("meta", {}))
+        meta["routing_epoch"] = int(document.get("routing_epoch", 0))
+        meta["deltas_applied"] = int(document.get("deltas_applied", 0))
         stored_digest = document.get("table_digest", "")
     except _UNPICKLE_ERRORS as exc:
         raise CheckpointCorruptError(

@@ -37,6 +37,7 @@ __all__ = [
     "WorkerCrashError",
     "ChunkQuarantinedError",
     "SupervisionError",
+    "ServeProtocolError",
     "InjectedFault",
     "SanitizeError",
     "DegradedModeWarning",
@@ -95,6 +96,19 @@ class ChunkQuarantinedError(WorkerCrashError):
 class SupervisionError(ReproError, RuntimeError):
     """The supervisor cannot make progress at all: the pool keeps dying
     and degraded (inline) fallback has been disallowed."""
+
+
+# -- live serving ----------------------------------------------------------
+
+
+class ServeProtocolError(ReproError, ValueError):
+    """An ndjson event on the serve stream does not decode.
+
+    Raised by :mod:`repro.serve.protocol` for lines that are not JSON
+    objects, carry an unknown ``type``, or are missing required fields.
+    The daemon counts-and-skips these under its ``--max-errors`` budget,
+    exactly as the batch pipeline treats malformed log lines.
+    """
 
 
 # -- fault injection -------------------------------------------------------

@@ -25,6 +25,9 @@ site                       effect
 ``log.truncate``           a text stream ends after ``arg`` lines
                            (simulates a log cut mid-transfer)
 ``dump.mangle``            a routing-dump line is replaced with garbage
+``serve.crash``            the serve daemon raises just before applying a
+                           routing delta batch (simulates dying mid-patch;
+                           the checkpoint on disk predates the batch)
 =========================  =================================================
 
 Worker faults are *decided in the driver* at dispatch time and shipped
@@ -56,6 +59,7 @@ __all__ = [
     "SITE_CHECKPOINT_TRUNCATE",
     "SITE_LOG_TRUNCATE",
     "SITE_DUMP_MANGLE",
+    "SITE_SERVE_CRASH",
     "ALL_SITES",
     "FaultSpec",
     "FaultPlan",
@@ -70,6 +74,7 @@ SITE_CHECKPOINT_CORRUPT = "checkpoint.corrupt"
 SITE_CHECKPOINT_TRUNCATE = "checkpoint.truncate"
 SITE_LOG_TRUNCATE = "log.truncate"
 SITE_DUMP_MANGLE = "dump.mangle"
+SITE_SERVE_CRASH = "serve.crash"
 
 ALL_SITES = (
     SITE_WORKER_CRASH,
@@ -79,6 +84,7 @@ ALL_SITES = (
     SITE_CHECKPOINT_TRUNCATE,
     SITE_LOG_TRUNCATE,
     SITE_DUMP_MANGLE,
+    SITE_SERVE_CRASH,
 )
 
 #: Sites whose faults are executed inside a worker process (the driver

@@ -1,0 +1,40 @@
+"""Long-lived clustering service with incremental routing updates.
+
+The batch pipeline (:mod:`repro.engine`) compiles one routing state and
+ingests one log.  This package keeps both live: a daemon consumes an
+ndjson event stream mixing weblog requests with BGP deltas, patches the
+LPM tables in place (:meth:`~repro.engine.packed.PackedLpm.apply_delta`)
+and re-resolves only the clients whose longest match could have changed
+(:meth:`~repro.engine.state.ClusterStore.reassign_clients`) — the
+paper's §3.4 self-correction running as an online process instead of a
+post-hoc repair pass.
+
+Layout:
+
+* :mod:`repro.serve.protocol` — the wire format (one JSON object per
+  line: ``log`` / ``announce`` / ``withdraw`` events);
+* :mod:`repro.serve.daemon` — :class:`ServeDaemon`, the event loop
+  state machine (batching, delta coalescing, checkpoint/resume);
+* :mod:`repro.serve.cli` — ``repro-engine serve``.
+"""
+
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.protocol import (
+    EVENT_ANNOUNCE,
+    EVENT_LOG,
+    EVENT_WITHDRAW,
+    LogEvent,
+    ServeEvent,
+    parse_event,
+)
+
+__all__ = [
+    "ServeConfig",
+    "ServeDaemon",
+    "EVENT_LOG",
+    "EVENT_ANNOUNCE",
+    "EVENT_WITHDRAW",
+    "LogEvent",
+    "ServeEvent",
+    "parse_event",
+]

@@ -1,0 +1,264 @@
+"""``repro-engine serve``: the clustering daemon as a shell command.
+
+Feed it an ndjson event stream (:mod:`repro.serve.protocol`) on stdin
+or a local UNIX socket::
+
+    repro-bgp-synth --stream 100000 | \\
+        repro-engine serve --stdin --table aads.dump --lpm stride \\
+            --checkpoint live.ckpt --checkpoint-every 20000 --metrics
+
+Routing deltas are applied to the live table *in place* — no full
+rebuild — and only the clients inside the patched address windows are
+reclustered.  ``--verify-final`` runs the equivalence gate at the end
+of the stream: the patched table must match a from-scratch rebuild at
+the final routing state, intervals and digest alike.  ``--resume``
+restarts from a ``--checkpoint`` file mid-stream: replay the same
+stream and the daemon drops the already-counted requests, re-applies
+the deltas, and proves at the boundary that it reproduced the
+checkpointed routing state before accumulating anything new.
+
+Checkpoint files are pickle-based: only ``--resume`` from files you
+wrote yourself (see :mod:`repro.engine.state`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+from typing import Iterable, Iterator, List, Optional
+
+from repro.cli import load_tables, print_cluster_report
+from repro.engine.fastpath import LPM_KINDS, build_lpm_table
+from repro.engine.metrics import EngineMetrics
+from repro.engine.state import CheckpointError
+from repro.errors import InjectedFault, ServeProtocolError
+from repro.faults import FaultInjector, FaultPlan
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.protocol import parse_event
+
+__all__ = ["serve_main", "build_serve_parser"]
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-engine serve",
+        description=(
+            "Long-lived clustering daemon: consumes an ndjson stream of "
+            "weblog requests and BGP route deltas, patches the LPM table "
+            "in place, and reclusters only the affected clients."
+        ),
+    )
+    feed = parser.add_mutually_exclusive_group(required=True)
+    feed.add_argument(
+        "--stdin", action="store_true",
+        help="read the event stream from standard input",
+    )
+    feed.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="listen on a UNIX socket at PATH and serve one connection's "
+             "stream to completion",
+    )
+    parser.add_argument(
+        "--table", "-t", action="append", default=[], metavar="DUMP",
+        help="routing-table dump file for the initial state; repeatable",
+    )
+    parser.add_argument(
+        "--lpm", choices=LPM_KINDS, default="packed",
+        help="LPM table layout (default packed); deltas patch either "
+             "layout in place",
+    )
+    parser.add_argument(
+        "--memo-size", type=int, default=0, metavar="N",
+        help="memoize up to N distinct client resolutions; patches evict "
+             "only the memo entries inside the touched address windows "
+             "(0 = off)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=4096, metavar="N",
+        help="log events per clustering batch; a routing delta always "
+             "flushes the batch first so stream order is preserved "
+             "(default 4096)",
+    )
+    parser.add_argument(
+        "--max-errors", type=int, default=None, metavar="N",
+        help="abort when more than N undecodable event lines accumulate "
+             "(default: skip-and-count forever)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="write daemon state to PATH when the stream ends",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="EVENTS",
+        help="also checkpoint after every EVENTS stream events "
+             "(0 = only at the end)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="restore state from --checkpoint, then replay the same "
+             "stream: checkpointed requests are skipped, deltas are "
+             "re-applied, and the routing generation is verified at the "
+             "boundary",
+    )
+    parser.add_argument(
+        "--inject", metavar="PLAN.json", default=None,
+        help="arm a repro.faults FaultPlan (serve.crash kills the daemon "
+             "just before a delta batch is applied)",
+    )
+    parser.add_argument(
+        "--verify-final", action="store_true",
+        help="run the equivalence gate after the stream: the patched "
+             "table must match a from-scratch rebuild at the final "
+             "routing state",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print engine counters including the churn family "
+             "(routes announced/withdrawn, clients reclustered, patch "
+             "latency, rebuild fallbacks)",
+    )
+    parser.add_argument(
+        "--busy", type=float, default=None, metavar="SHARE",
+        help="threshold busy clusters covering SHARE of requests",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20,
+        help="how many clusters to print (default 20, 0 = all)",
+    )
+    return parser
+
+
+def _socket_lines(path: str) -> Iterator[str]:
+    """Accept one connection on a UNIX socket and yield its lines."""
+    if os.path.exists(path):
+        os.unlink(path)
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        server.bind(path)
+        server.listen(1)
+        connection, _ = server.accept()
+        try:
+            with connection.makefile(
+                "r", encoding="utf-8", errors="replace"
+            ) as handle:
+                for line in handle:
+                    yield line
+        finally:
+            connection.close()
+    finally:
+        server.close()
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if not args.table:
+        parser.error("the daemon needs at least one --table dump")
+    if args.checkpoint_every and not args.checkpoint:
+        parser.error("--checkpoint-every requires --checkpoint PATH")
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint PATH")
+    if args.memo_size < 0:
+        parser.error("--memo-size must be >= 0")
+    if args.batch_size < 1:
+        parser.error("--batch-size must be >= 1")
+
+    injector: Optional[FaultInjector] = None
+    if args.inject:
+        injector = FaultInjector(FaultPlan.load(args.inject))
+        print(f"fault injection armed from {args.inject}: "
+              f"{', '.join(injector.plan.sites()) or 'no sites'}")
+
+    merged = load_tables(args.table, injector=injector)
+    table = build_lpm_table(args.lpm, merged, args.memo_size)
+    print(f"{args.lpm} LPM table: {len(table):,} entries"
+          + (f", memo bound {args.memo_size:,}" if args.memo_size else ""))
+
+    config = ServeConfig(
+        name="stdin" if args.stdin else args.socket,
+        batch_size=args.batch_size,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+    )
+    daemon = ServeDaemon(
+        table, config, EngineMetrics(1), injector=injector
+    )
+    if args.resume:
+        if os.path.exists(args.checkpoint):
+            try:
+                daemon.resume_from(args.checkpoint)
+            except CheckpointError as exc:
+                print(f"cannot resume: {exc}", file=sys.stderr)
+                return 1
+            print(
+                f"resumed from {args.checkpoint}: replaying the first "
+                f"{daemon.resume_skip:,} stream events"
+            )
+        else:
+            print(f"no checkpoint at {args.checkpoint}; starting fresh")
+
+    lines: Iterable[str]
+    if args.stdin:
+        lines = sys.stdin
+    else:
+        print(f"listening on {args.socket}", flush=True)
+        lines = _socket_lines(args.socket)
+
+    bad_lines = 0
+    try:
+        for line in lines:
+            try:
+                event = parse_event(line)
+            except ServeProtocolError as exc:
+                bad_lines += 1
+                daemon.metrics.record_malformed()
+                if args.max_errors is not None and bad_lines > args.max_errors:
+                    print(f"aborting: {exc} "
+                          f"({bad_lines:,} undecodable lines)",
+                          file=sys.stderr)
+                    return 1
+                continue
+            if event is None:
+                continue
+            daemon.feed(event)
+        daemon.finish()
+    except InjectedFault as exc:
+        print(f"fatal: {exc}", file=sys.stderr)
+        return 1
+    except CheckpointError as exc:
+        print(f"fatal: {exc}", file=sys.stderr)
+        return 1
+
+    if bad_lines:
+        print(f"warning: skipped {bad_lines:,} undecodable event line(s)",
+              file=sys.stderr)
+    print(
+        f"stream complete: {daemon.events_consumed:,} events "
+        f"({daemon.deltas_received:,} route deltas; table at epoch "
+        f"{int(daemon.table.epoch)}, {int(daemon.table.deltas_applied)} "
+        "deltas applied)"
+    )
+    if args.checkpoint:
+        print(f"checkpoint written: {args.checkpoint}")
+    if args.verify_final:
+        daemon.table.verify_patched()
+        print(
+            "equivalence gate: patched table matches a from-scratch "
+            f"rebuild (digest {daemon.table.digest()[:12]}…)"
+        )
+    print()
+    print_cluster_report(daemon.snapshot(), args.top, args.busy)
+    if args.metrics:
+        print()
+        print(daemon.metrics.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(serve_main())

@@ -1,0 +1,374 @@
+"""The serve event loop: batch, patch, recluster, checkpoint.
+
+:class:`ServeDaemon` is a single-process state machine fed one
+:class:`~repro.serve.protocol.ServeEvent` at a time.  Log events buffer
+into batches (one LPM pass per batch, like the engine's chunks); route
+events buffer into a *coalesced* delta map (last event per prefix wins,
+which is also what applying them one-by-one would leave behind).  The
+buffers flush whenever the stream switches kind, so a routing change is
+always applied between the requests that preceded it and the requests
+that follow it — event order on the stream is the serialization order.
+
+Applying a delta batch is the incremental §3.4 self-correction:
+
+1. :meth:`~repro.engine.packed.PackedLpm.apply_delta` patches the live
+   table in place and reports the address ``windows`` it touched (a
+   :class:`~repro.engine.fastpath.MemoizedLookup` front evicts only the
+   memo entries inside those windows);
+2. :meth:`~repro.engine.state.ClusterStore.reassign_clients` re-resolves
+   only the accumulated clients inside the windows and migrates the
+   ones whose longest match moved.
+
+A pathologically large batch (more than half the table) falls back to a
+from-scratch rebuild — counted in
+``EngineMetrics.patch_rebuild_fallbacks`` — with the patch-generation
+counters carried over so checkpoints stay comparable.
+
+Checkpoints reuse the engine's versioned envelope and additionally
+persist the routing generation (``routing_epoch`` / ``deltas_applied``)
+and the stream position (``stream_events``).  ``--resume`` replays the
+stream: route events are re-applied to the table (rebuilding the
+patched routing state) without re-running the reclustering — the
+restored store already reflects it — and log events inside the
+already-checkpointed prefix are dropped
+(their counts are in the restored store), and at the boundary the
+daemon proves the replay reproduced the checkpoint — same routing
+generation, same table digest — before new events are accumulated.
+Byte-identical resume assumes the same stream and the same
+``--batch-size`` / ``--checkpoint-every`` settings.
+
+Under ``REPRO_SANITIZE=1`` a sampled subset of patches is followed by
+:meth:`verify_patched` — the full patched-equals-rebuilt equivalence
+gate — at runtime, not just in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis import sanitize as _sanitize
+from repro.bgp.synth import RouteDelta
+from repro.bgp.table import KIND_BGP, LookupResult, RouteEntry
+from repro.core.clustering import ClusterSet
+from repro.engine.fastpath import MemoizedLookup
+from repro.engine.metrics import EngineMetrics
+from repro.engine.packed import merge_windows
+from repro.engine.state import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointTableMismatchError,
+    ClusterStore,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.errors import InjectedFault
+from repro.faults import SITE_SERVE_CRASH, FaultInjector
+from repro.net.prefix import Prefix
+from repro.serve.protocol import ServeEvent
+
+__all__ = ["ServeConfig", "ServeDaemon"]
+
+#: Patch-vs-rebuild crossover: a coalesced delta batch touching more
+#: prefixes than ``max(PATCH_FALLBACK_FLOOR, len(table) // 2)`` is
+#: cheaper to rebuild than to splice piecewise.
+PATCH_FALLBACK_FLOOR = 64
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one daemon run."""
+
+    name: str = "serve"
+    batch_size: int = 4096
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 0
+    checkpoint_attempts: int = 3
+
+
+class ServeDaemon:
+    """Clusters a live event stream against an in-place-patched table."""
+
+    def __init__(
+        self,
+        table: Any,
+        config: Optional[ServeConfig] = None,
+        metrics: Optional[EngineMetrics] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.table = table
+        self.config = config or ServeConfig()
+        self.metrics = metrics or EngineMetrics(1)
+        self.injector = injector
+        self.store = ClusterStore()
+        self.events_consumed = 0
+        self.deltas_received = 0
+        self._pending_logs: List[Tuple[int, str, int]] = []
+        self._pending_deltas: Dict[Prefix, RouteDelta] = {}
+        self._since_checkpoint = 0
+        self._resume_skip = 0
+        self._resume_path: Optional[str] = None
+        self._resume_meta: Dict[str, Any] = {}
+
+    # -- resume ----------------------------------------------------------
+
+    def resume_from(self, path: str) -> None:
+        """Adopt a checkpoint's store and arm the stream replay.
+
+        The checkpoint's table digest is *not* checked here: it was
+        taken after deltas were applied, so the freshly-loaded table
+        legitimately differs.  The check runs at the replay boundary
+        instead (:meth:`_verify_resume_boundary`), once the re-applied
+        deltas should have reproduced the checkpointed routing state.
+        """
+        stores, meta = read_checkpoint(path)
+        if len(stores) != 1:
+            raise CheckpointError(
+                f"serve checkpoints hold one store, found {len(stores)} shards"
+            )
+        self.store = stores[0]
+        self._resume_meta = meta
+        self._resume_skip = int(meta.get("stream_events", 0))
+        self._resume_path = path
+
+    @property
+    def resume_skip(self) -> int:
+        """Stream events the armed checkpoint already covers (0 = fresh)."""
+        return self._resume_skip
+
+    @property
+    def replaying(self) -> bool:
+        """True while consumed events are still inside the checkpoint."""
+        return bool(self._resume_skip) and (
+            self.events_consumed < self._resume_skip
+        )
+
+    # -- event loop ------------------------------------------------------
+
+    def feed(self, event: ServeEvent) -> None:
+        """Consume one stream event (request or routing delta)."""
+        self.events_consumed += 1
+        self._since_checkpoint += 1
+        if isinstance(event, RouteDelta):
+            self._flush_logs()
+            self.deltas_received += 1
+            # Last event per prefix wins — the same end state applying
+            # the run one-by-one would leave, because no log event
+            # separates the deltas of one run.
+            self._pending_deltas[event.prefix] = event
+        else:
+            self._flush_deltas()
+            self._pending_logs.append((event.client, event.url, event.size))
+            if len(self._pending_logs) >= self.config.batch_size:
+                self._flush_logs()
+        if self._resume_skip and self.events_consumed == self._resume_skip:
+            self._flush_all()
+            self._verify_resume_boundary()
+        if (
+            self.config.checkpoint_path
+            and self.config.checkpoint_every
+            and self._since_checkpoint >= self.config.checkpoint_every
+        ):
+            self.checkpoint_now()
+            self._since_checkpoint = 0
+
+    def finish(self) -> None:
+        """Flush all buffers, write the final checkpoint, drain stats."""
+        if self.replaying:
+            raise CheckpointTableMismatchError(
+                f"stream ended after {self.events_consumed:,} events but "
+                f"the checkpoint was taken at {self._resume_skip:,} — "
+                "resume needs the same stream replayed from the start"
+            )
+        self._flush_all()
+        if self.config.checkpoint_path:
+            self.checkpoint_now()
+        self._drain_stats()
+
+    def snapshot(self, name: Optional[str] = None) -> ClusterSet:
+        """Materialise the current clusters (non-destructive)."""
+        return self.store.snapshot(
+            name=name if name is not None else self.config.name,
+            method="network-aware",
+        )
+
+    # -- flushing --------------------------------------------------------
+
+    def _flush_all(self) -> None:
+        self._flush_logs()
+        self._flush_deltas()
+
+    def _flush_logs(self) -> None:
+        if not self._pending_logs:
+            return
+        batch = self._pending_logs
+        self._pending_logs = []
+        if self._resume_skip and self.events_consumed <= self._resume_skip:
+            # Replay: these requests are already in the restored store.
+            return
+        started = perf_counter()
+        applied = self.store.apply_batch(batch, self.table)
+        self.metrics.record_batch([applied], perf_counter() - started, applied)
+
+    def _flush_deltas(self) -> None:
+        if not self._pending_deltas:
+            return
+        deltas = self._pending_deltas
+        self._pending_deltas = {}
+        if self.injector is not None:
+            if self.injector.fire(SITE_SERVE_CRASH) is not None:
+                # Deliberately *before* any mutation: the process dies
+                # with the on-disk checkpoint predating this batch,
+                # which is what resume must recover from.
+                raise InjectedFault(
+                    SITE_SERVE_CRASH, "injected serve crash mid-delta"
+                )
+        started = perf_counter()
+        announce: List[Tuple[Prefix, Any]] = []
+        withdraw: List[Prefix] = []
+        for prefix in sorted(deltas, key=Prefix.sort_key):
+            delta = deltas[prefix]
+            if delta.op == RouteDelta.OP_ANNOUNCE:
+                announce.append((prefix, self._value_for(delta)))
+            else:
+                withdraw.append(prefix)
+        replay = bool(self._resume_skip) and (
+            self.events_consumed <= self._resume_skip
+        )
+        threshold = max(PATCH_FALLBACK_FLOOR, len(self.table) // 2)
+        if len(announce) + len(withdraw) > threshold:
+            windows = self._rebuild(announce, withdraw)
+            if not replay:
+                self.metrics.record_patch_fallback()
+        else:
+            result = self.table.apply_delta(announce, withdraw)
+            windows = list(result.windows)
+        if replay:
+            # Replay rebuilds the routing state only: the restored
+            # store already reflects these deltas' reclustering, so
+            # re-running it would double-apply the migrations.
+            return
+        moved = self.store.reassign_clients(windows, self.table)
+        self.metrics.record_patch(
+            len(announce), len(withdraw), moved, perf_counter() - started
+        )
+        if _sanitize.is_enabled() and _sanitize.crosscheck_due():
+            # Sampled runtime equivalence gate: the patched table must
+            # be indistinguishable from a from-scratch rebuild.
+            self.table.verify_patched()
+            _sanitize.record_crosscheck()
+
+    def _value_for(self, delta: RouteDelta) -> LookupResult:
+        """The table value an announce installs (LookupResult-shaped,
+        like :meth:`PackedLpm.from_merged` values, so provenance and
+        cluster source labels keep working)."""
+        entry = RouteEntry(
+            prefix=delta.prefix,
+            as_path=(delta.origin_asn,) if delta.origin_asn else (),
+        )
+        return LookupResult(
+            prefix=delta.prefix,
+            entry=entry,
+            source_name=delta.source,
+            source_kind=KIND_BGP,
+        )
+
+    def _rebuild(
+        self, announce: List[Tuple[Prefix, Any]], withdraw: List[Prefix]
+    ) -> List[Tuple[int, int]]:
+        """Full-rebuild fallback for oversized delta batches.
+
+        Produces the same final table and the same invalidation windows
+        as the in-place patch would, and carries the patch-generation
+        counters forward so resume accounting stays consistent.
+        """
+        inner = self.table.table if isinstance(
+            self.table, MemoizedLookup
+        ) else self.table
+        items = dict(inner.items())
+        spans: List[Tuple[int, int]] = []
+        for prefix, value in announce:
+            items[prefix] = value
+            spans.append((prefix.network, prefix.last_address))
+        for prefix in withdraw:
+            items.pop(prefix, None)
+            spans.append((prefix.network, prefix.last_address))
+        epoch = int(inner.epoch)
+        deltas_applied = int(inner.deltas_applied)
+        rebuilt = type(inner).from_items(
+            sorted(items.items(), key=lambda kv: kv[0].sort_key())
+        )
+        rebuilt.restore_generation(
+            epoch + 1, deltas_applied + len(announce) + len(withdraw)
+        )
+        if isinstance(self.table, MemoizedLookup):
+            self.table.table = rebuilt
+            self.table.clear_memo()
+        else:
+            self.table = rebuilt
+        return merge_windows(spans)
+
+    # -- checkpoints -----------------------------------------------------
+
+    def checkpoint_now(self) -> None:
+        """Flush and write a verified checkpoint (no-op while replaying,
+        when the on-disk checkpoint is already ahead of us)."""
+        path = self.config.checkpoint_path
+        if path is None:
+            return
+        self._flush_all()
+        if self.replaying:
+            return
+        digest = self.table.digest()
+        meta = {
+            "stream": self.config.name,
+            "stream_events": self.events_consumed,
+        }
+        for attempt in range(1, self.config.checkpoint_attempts + 1):
+            write_checkpoint(
+                path,
+                [self.store],
+                table_digest=digest,
+                meta=meta,
+                routing_epoch=int(self.table.epoch),
+                deltas_applied=int(self.table.deltas_applied),
+            )
+            if self.injector is not None:
+                self.injector.damage_file(path)
+            try:
+                read_checkpoint(path, table_digest=digest)
+                break
+            except CheckpointCorruptError:
+                if attempt == self.config.checkpoint_attempts:
+                    raise
+                self.metrics.record_checkpoint_rewrite()
+        self.metrics.record_checkpoint()
+
+    def _verify_resume_boundary(self) -> None:
+        """Prove the replay reproduced the checkpointed routing state."""
+        expected_epoch = int(self._resume_meta.get("routing_epoch", 0))
+        expected_deltas = int(self._resume_meta.get("deltas_applied", 0))
+        actual_epoch = int(self.table.epoch)
+        actual_deltas = int(self.table.deltas_applied)
+        if (actual_epoch, actual_deltas) != (expected_epoch, expected_deltas):
+            raise CheckpointTableMismatchError(
+                "replayed stream does not reproduce the checkpoint's "
+                f"routing generation (checkpoint epoch {expected_epoch} / "
+                f"{expected_deltas} deltas; replay {actual_epoch} / "
+                f"{actual_deltas}) — resume needs the same stream and the "
+                "same batching flags"
+            )
+        if self._resume_path is not None:
+            # Re-running the digest gauntlet against the *replayed*
+            # table catches any divergence the counters cannot see.
+            read_checkpoint(self._resume_path, table_digest=self.table.digest())
+
+    # -- stats -----------------------------------------------------------
+
+    def _drain_stats(self) -> None:
+        take_memo = getattr(self.table, "take_memo_stats", None)
+        if take_memo is not None:
+            self.metrics.record_memo(*take_memo())
+        if _sanitize.is_enabled():
+            self.metrics.record_sanitize(*_sanitize.take_stats())

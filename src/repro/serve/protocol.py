@@ -1,0 +1,122 @@
+"""The serve stream's wire format: one JSON object per line (ndjson).
+
+Three event types flow on one stream, so routing changes are ordered
+relative to the requests around them — the property the incremental
+reclustering relies on:
+
+``{"type": "log", "client": "12.65.147.9", "url": "/a", "size": 1024}``
+    one weblog request; ``client`` is dotted-quad text (or a raw
+    integer address), ``size`` defaults to 0 (a 304, like CLF's "-").
+
+``{"type": "announce", "prefix": "12.65.128.0/19", "origin_asn": 7018,
+"source": "AADS", "reason": "churn"}``
+    a route appeared (or re-appeared, or changed origin).
+
+``{"type": "withdraw", "prefix": "12.65.128.0/19", ...}``
+    a route disappeared.
+
+Route events are exactly the JSON form of
+:class:`~repro.bgp.synth.RouteDelta`, so ``repro-bgp-synth`` output
+pipes straight into ``repro-engine serve`` with no translation.
+
+Malformed lines raise :class:`~repro.errors.ServeProtocolError`; the
+daemon counts-and-skips them under its ``--max-errors`` budget, the
+same hygiene the batch pipeline applies to malformed CLF lines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+from repro.bgp.synth import RouteDelta
+from repro.errors import ServeProtocolError
+from repro.net.ipv4 import AddressError, format_ipv4, parse_ipv4
+
+__all__ = [
+    "EVENT_LOG",
+    "EVENT_ANNOUNCE",
+    "EVENT_WITHDRAW",
+    "LogEvent",
+    "ServeEvent",
+    "parse_event",
+]
+
+EVENT_LOG = "log"
+EVENT_ANNOUNCE = RouteDelta.OP_ANNOUNCE
+EVENT_WITHDRAW = RouteDelta.OP_WITHDRAW
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    """One weblog request on the stream: the ``(client, url, size)``
+    projection the cluster accumulators need."""
+
+    client: int
+    url: str = ""
+    size: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": EVENT_LOG,
+            "client": format_ipv4(self.client),
+            "url": self.url,
+            "size": self.size,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+#: Anything the daemon's :meth:`~repro.serve.daemon.ServeDaemon.feed`
+#: accepts: a request or a routing delta.
+ServeEvent = Union[LogEvent, RouteDelta]
+
+
+def parse_event(line: str) -> Optional[ServeEvent]:
+    """Decode one stream line; blank lines decode to ``None``.
+
+    Raises :class:`ServeProtocolError` for anything that is not a JSON
+    object with a known ``type`` and well-formed fields.
+    """
+    text = line.strip()
+    if not text:
+        return None
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ServeProtocolError(
+            f"event line is not JSON: {text[:80]!r} ({exc})"
+        ) from exc
+    if not isinstance(data, dict):
+        raise ServeProtocolError(
+            f"event must be a JSON object, got {type(data).__name__}: "
+            f"{text[:80]!r}"
+        )
+    kind = data.get("type")
+    if kind == EVENT_LOG:
+        try:
+            client = data["client"]
+            address = (
+                parse_ipv4(client) if isinstance(client, str) else int(client)
+            )
+            return LogEvent(
+                client=address,
+                url=str(data.get("url", "")),
+                size=int(data.get("size", 0)),
+            )
+        except (AddressError, KeyError, TypeError, ValueError) as exc:
+            raise ServeProtocolError(
+                f"bad log event: {text[:80]!r} ({exc})"
+            ) from exc
+    if kind in (EVENT_ANNOUNCE, EVENT_WITHDRAW):
+        try:
+            return RouteDelta.from_dict(data)
+        except (AddressError, KeyError, TypeError, ValueError) as exc:
+            raise ServeProtocolError(
+                f"bad route event: {text[:80]!r} ({exc})"
+            ) from exc
+    raise ServeProtocolError(
+        f"unknown event type {kind!r}: {text[:80]!r}"
+    )

@@ -51,11 +51,29 @@ class TestExport:
             "worker_restarts", "chunk_retries", "chunks_quarantined",
             "entries_quarantined", "checkpoint_rewrites", "degraded",
             "memo_hits", "memo_misses", "memo_evictions",
+            "routes_announced", "routes_withdrawn", "clients_reclustered",
+            "patches_applied", "patch_rebuild_fallbacks",
             "sanitize_batch_checks", "sanitize_lpm_crosschecks",
             "sanitize_checkpoint_readbacks", "sanitize_rng_draws",
             "total_seconds", "mean_batch_seconds", "max_batch_seconds",
+            "patch_seconds", "mean_patch_seconds",
             "entries_per_second", "shard_skew", "memo_hit_rate",
         }
+
+    def test_patch_counters(self):
+        metrics = EngineMetrics(1)
+        metrics.record_patch(announced=3, withdrawn=2, reclustered=7, seconds=0.5)
+        metrics.record_patch(announced=1, withdrawn=0, reclustered=0, seconds=0.25)
+        metrics.record_patch_fallback()
+        snap = metrics.snapshot()
+        assert snap["routes_announced"] == 4
+        assert snap["routes_withdrawn"] == 2
+        assert snap["clients_reclustered"] == 7
+        assert snap["patches_applied"] == 2
+        assert snap["patch_rebuild_fallbacks"] == 1
+        assert snap["patch_seconds"] == 0.75
+        assert snap["mean_patch_seconds"] == 0.375
+        assert EngineMetrics(1).mean_patch_seconds == 0.0
 
     def test_memo_counters(self):
         metrics = EngineMetrics(2)

@@ -9,6 +9,7 @@ from repro.faults import (
     SITE_CHECKPOINT_TRUNCATE,
     SITE_DUMP_MANGLE,
     SITE_LOG_TRUNCATE,
+    SITE_SERVE_CRASH,
     SITE_WORKER_CRASH,
     SITE_WORKER_DIE,
     SITE_WORKER_SLOW,
@@ -197,5 +198,5 @@ def test_all_sites_is_complete():
     assert set(ALL_SITES) == {
         SITE_WORKER_CRASH, SITE_WORKER_DIE, SITE_WORKER_SLOW,
         SITE_CHECKPOINT_CORRUPT, SITE_CHECKPOINT_TRUNCATE,
-        SITE_LOG_TRUNCATE, SITE_DUMP_MANGLE,
+        SITE_LOG_TRUNCATE, SITE_DUMP_MANGLE, SITE_SERVE_CRASH,
     }

@@ -1,0 +1,94 @@
+"""Chaos tests: kill the daemon mid-delta, resume, prove equivalence.
+
+Reuses the :mod:`repro.faults` injection machinery: a planned
+``serve.crash`` fault fires just before a delta batch mutates the
+table, so the on-disk checkpoint always predates the interrupted
+batch — exactly the state a real crash leaves behind.  Resuming and
+replaying the same stream must land on clusters identical to an
+uninterrupted run.
+"""
+
+import pytest
+
+from repro.errors import InjectedFault
+from repro.faults import SITE_SERVE_CRASH, FaultInjector, FaultPlan, FaultSpec
+from repro.serve.daemon import ServeConfig, ServeDaemon
+
+from .test_daemon import fresh_table, mixed_stream
+
+
+def crash_plan(at):
+    return FaultPlan.build(FaultSpec(site=SITE_SERVE_CRASH, at=at))
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("crash_at", [0, 1, 2])
+    def test_resume_after_crash_matches_uninterrupted_run(
+        self, tmp_path, crash_at
+    ):
+        stream = mixed_stream()
+        path = str(tmp_path / "crash.ckpt")
+
+        reference = ServeDaemon(fresh_table(), ServeConfig(batch_size=2))
+        for event in stream:
+            reference.feed(event)
+        reference.finish()
+        expected = reference.snapshot(name="run")
+
+        crashing = ServeDaemon(
+            fresh_table(),
+            ServeConfig(
+                batch_size=2, checkpoint_path=path, checkpoint_every=3
+            ),
+            injector=FaultInjector(crash_plan(crash_at)),
+        )
+        with pytest.raises(InjectedFault):
+            for event in stream:
+                crashing.feed(event)
+            crashing.finish()
+        survived = crashing.events_consumed
+        assert survived < len(stream)
+
+        resumed = ServeDaemon(
+            fresh_table(),
+            ServeConfig(
+                batch_size=2, checkpoint_path=path, checkpoint_every=3
+            ),
+        )
+        resumed.resume_from(path)
+        assert 0 < resumed.resume_skip <= survived
+        for event in stream:
+            resumed.feed(event)
+        resumed.finish()
+        assert resumed.snapshot(name="run") == expected
+
+    def test_crash_loses_no_checkpointed_work(self, tmp_path):
+        """The checkpoint the crash leaves behind is itself verified:
+        loading it yields the store as of its stream position."""
+        stream = mixed_stream()
+        path = str(tmp_path / "verify.ckpt")
+        crashing = ServeDaemon(
+            fresh_table(),
+            ServeConfig(
+                batch_size=2, checkpoint_path=path, checkpoint_every=4
+            ),
+            injector=FaultInjector(crash_plan(2)),
+        )
+        with pytest.raises(InjectedFault):
+            for event in stream:
+                crashing.feed(event)
+
+        clean = ServeDaemon(fresh_table(), ServeConfig(batch_size=2))
+        resumed = ServeDaemon(fresh_table(), ServeConfig(batch_size=2))
+        resumed.resume_from(path)
+        skip = resumed.resume_skip
+        for event in stream[:skip]:
+            clean.feed(event)
+            resumed.feed(event)
+        clean.finish()
+        # finish() on the resumed daemon at the exact boundary is legal
+        # (replay is complete) and must agree with the clean run.
+        resumed.finish()
+        assert resumed.snapshot(name="boundary") == clean.snapshot(
+            name="boundary"
+        )

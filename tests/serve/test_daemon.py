@@ -1,0 +1,237 @@
+"""Unit tests for the serve event loop (batching, patching, resume)."""
+
+import pytest
+
+from repro.bgp.synth import RouteDelta
+from repro.engine.packed import PackedLpm
+from repro.engine.state import CheckpointTableMismatchError
+from repro.net.prefix import Prefix
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.protocol import LogEvent
+
+P8 = Prefix.from_cidr("10.0.0.0/8")
+P16 = Prefix.from_cidr("10.1.0.0/16")
+Q8 = Prefix.from_cidr("12.0.0.0/8")
+
+#: Clients inside the tiny table (10.1/16 covers A and B; 10.2.0.5
+#: falls through to 10/8; 12.0.0.9 lands in 12/8; 99/8 is unrouted).
+CLIENT_A = (10 << 24) | (1 << 16) | 5
+CLIENT_B = (10 << 24) | (1 << 16) | 6
+CLIENT_P = (10 << 24) | (2 << 16) | 5
+CLIENT_Q = (12 << 24) | 9
+CLIENT_X = (99 << 24) | 1
+
+
+def fresh_table():
+    return PackedLpm.from_items(
+        sorted(
+            {P8: "ten", P16: "ten-one", Q8: "twelve"}.items(),
+            key=lambda kv: kv[0].sort_key(),
+        )
+    )
+
+
+def log(client, url="/", size=100):
+    return LogEvent(client=client, url=url, size=size)
+
+
+def announce(prefix, origin_asn=64500):
+    return RouteDelta(
+        op=RouteDelta.OP_ANNOUNCE,
+        prefix=prefix,
+        origin_asn=origin_asn,
+        source="AADS",
+        reason="test",
+    )
+
+
+def withdraw(prefix):
+    return RouteDelta(
+        op=RouteDelta.OP_WITHDRAW, prefix=prefix, source="AADS", reason="test"
+    )
+
+
+def run(events, **config):
+    daemon = ServeDaemon(fresh_table(), ServeConfig(**config))
+    for event in events:
+        daemon.feed(event)
+    daemon.finish()
+    return daemon
+
+
+def clusters_by_prefix(daemon):
+    snapshot = daemon.snapshot(name="test")
+    return {cluster.identifier: cluster for cluster in snapshot.clusters}
+
+
+class TestClustering:
+    def test_log_events_accumulate_into_clusters(self):
+        daemon = run([log(CLIENT_A, "/a"), log(CLIENT_B, "/b"), log(CLIENT_Q)])
+        clusters = clusters_by_prefix(daemon)
+        assert sorted(clusters[P16].clients) == [CLIENT_A, CLIENT_B]
+        assert clusters[P16].requests == 2
+        assert clusters[Q8].clients == [CLIENT_Q]
+
+    def test_unrouted_client_is_unclustered(self):
+        daemon = run([log(CLIENT_X)])
+        assert daemon.snapshot().unclustered_clients == [CLIENT_X]
+
+    def test_withdraw_moves_clients_to_covering_prefix(self):
+        daemon = run([log(CLIENT_A), log(CLIENT_A), withdraw(P16)])
+        clusters = clusters_by_prefix(daemon)
+        assert P16 not in clusters  # emptied and swept
+        assert clusters[P8].clients == [CLIENT_A]
+        assert clusters[P8].requests == 2
+        assert daemon.metrics.clients_reclustered == 1
+        assert daemon.metrics.routes_withdrawn == 1
+
+    def test_announce_moves_clients_to_more_specific(self):
+        new = Prefix.from_cidr("10.2.0.0/16")
+        daemon = run([log(CLIENT_P), announce(new)])
+        clusters = clusters_by_prefix(daemon)
+        assert clusters[new].clients == [CLIENT_P]
+        assert P8 not in clusters
+        assert daemon.metrics.routes_announced == 1
+
+    def test_event_order_is_serialization_order(self):
+        """A delta applies between the requests around it: requests
+        after the withdraw resolve straight to the parent while the
+        earlier client is migrated there."""
+        daemon = run(
+            [log(CLIENT_A), withdraw(P16), log(CLIENT_B)], batch_size=1000
+        )
+        clusters = clusters_by_prefix(daemon)
+        assert sorted(clusters[P8].clients) == [CLIENT_A, CLIENT_B]
+        assert clusters[P8].requests == 2
+
+    def test_withdraw_all_routes_unclusters(self):
+        daemon = run(
+            [log(CLIENT_A), withdraw(P16), withdraw(P8), withdraw(Q8)]
+        )
+        snapshot = daemon.snapshot()
+        assert snapshot.clusters == []
+        assert snapshot.unclustered_clients == [CLIENT_A]
+
+    def test_patch_metrics_accumulate(self):
+        daemon = run(
+            [log(CLIENT_A), withdraw(P16), log(CLIENT_B), announce(P16)]
+        )
+        assert daemon.metrics.patches_applied == 2
+        assert daemon.metrics.routes_announced == 1
+        assert daemon.metrics.routes_withdrawn == 1
+        assert daemon.metrics.patch_rebuild_fallbacks == 0
+        assert daemon.metrics.patch_seconds >= 0.0
+
+
+def mixed_stream():
+    """A deterministic 16-event stream mixing requests and deltas."""
+    new = Prefix.from_cidr("10.2.0.0/16")
+    return [
+        log(CLIENT_A, "/1"),
+        log(CLIENT_B, "/2"),
+        log(CLIENT_P, "/3"),
+        withdraw(P16),
+        log(CLIENT_A, "/4"),
+        log(CLIENT_Q, "/5"),
+        announce(new),
+        log(CLIENT_P, "/6"),
+        log(CLIENT_X, "/7"),
+        announce(P16),
+        log(CLIENT_B, "/8"),
+        log(CLIENT_A, "/9"),
+        withdraw(new),
+        log(CLIENT_P, "/10"),
+        log(CLIENT_Q, "/11"),
+        log(CLIENT_B, "/12"),
+    ]
+
+
+class TestResume:
+    def test_resume_replays_to_identical_clusters(self, tmp_path):
+        stream = mixed_stream()
+        path = str(tmp_path / "serve.ckpt")
+
+        first = ServeDaemon(
+            fresh_table(), ServeConfig(batch_size=2, checkpoint_path=path)
+        )
+        for event in stream[:11]:
+            first.feed(event)
+        first.checkpoint_now()
+        for event in stream[11:]:
+            first.feed(event)
+        first.finish()
+        reference = first.snapshot(name="run")
+
+        # The final checkpoint covers the whole stream; resume from the
+        # mid-stream one instead to exercise the replay path.
+        resumed = ServeDaemon(
+            fresh_table(), ServeConfig(batch_size=2, checkpoint_path=path)
+        )
+        resumed.resume_from(path)
+        assert resumed.resume_skip == len(stream)
+        for event in stream:
+            resumed.feed(event)
+        resumed.finish()
+        assert resumed.snapshot(name="run") == reference
+
+    def test_resume_from_midstream_checkpoint(self, tmp_path):
+        stream = mixed_stream()
+        path = str(tmp_path / "mid.ckpt")
+
+        reference = run(list(stream), batch_size=2).snapshot(name="run")
+
+        first = ServeDaemon(
+            fresh_table(), ServeConfig(batch_size=2, checkpoint_path=path)
+        )
+        for event in stream[:9]:
+            first.feed(event)
+        first.checkpoint_now()
+        # The process "dies" here: nothing after the checkpoint lands.
+
+        resumed = ServeDaemon(
+            fresh_table(), ServeConfig(batch_size=2, checkpoint_path=None)
+        )
+        resumed.resume_from(path)
+        assert resumed.resume_skip == 9
+        assert resumed.replaying
+        for event in stream:
+            resumed.feed(event)
+        assert not resumed.replaying
+        resumed.finish()
+        assert resumed.snapshot(name="run") == reference
+
+    def test_resume_with_diverged_stream_raises(self, tmp_path):
+        stream = mixed_stream()
+        path = str(tmp_path / "diverge.ckpt")
+        first = ServeDaemon(
+            fresh_table(), ServeConfig(batch_size=2, checkpoint_path=path)
+        )
+        for event in stream[:9]:
+            first.feed(event)
+        first.checkpoint_now()
+
+        resumed = ServeDaemon(fresh_table(), ServeConfig(batch_size=2))
+        resumed.resume_from(path)
+        # Replay a different prefix history: the boundary check sees a
+        # diverged routing generation and refuses to continue.
+        diverged = [withdraw(Q8)] + stream[1:]
+        with pytest.raises(CheckpointTableMismatchError):
+            for event in diverged:
+                resumed.feed(event)
+
+    def test_stream_ending_mid_replay_raises(self, tmp_path):
+        stream = mixed_stream()
+        path = str(tmp_path / "short.ckpt")
+        first = ServeDaemon(
+            fresh_table(), ServeConfig(batch_size=2, checkpoint_path=path)
+        )
+        for event in stream:
+            first.feed(event)
+        first.finish()
+
+        resumed = ServeDaemon(fresh_table(), ServeConfig(batch_size=2))
+        resumed.resume_from(path)
+        for event in stream[:5]:
+            resumed.feed(event)
+        with pytest.raises(CheckpointTableMismatchError):
+            resumed.finish()

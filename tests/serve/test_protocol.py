@@ -1,0 +1,84 @@
+"""Unit tests for the serve ndjson wire format."""
+
+import json
+
+import pytest
+
+from repro.bgp.synth import RouteDelta
+from repro.errors import ReproError, ServeProtocolError
+from repro.net.ipv4 import parse_ipv4
+from repro.net.prefix import Prefix
+from repro.serve.protocol import LogEvent, parse_event
+
+
+class TestParseEvent:
+    def test_blank_line_is_none(self):
+        assert parse_event("") is None
+        assert parse_event("   \n") is None
+
+    def test_log_event_with_dotted_quad(self):
+        event = parse_event(
+            '{"type": "log", "client": "12.65.147.9", "url": "/a", "size": 512}'
+        )
+        assert isinstance(event, LogEvent)
+        assert event.client == parse_ipv4("12.65.147.9")
+        assert event.url == "/a"
+        assert event.size == 512
+
+    def test_log_event_with_integer_client(self):
+        event = parse_event('{"type": "log", "client": 167772161}')
+        assert isinstance(event, LogEvent)
+        assert event.client == 167772161
+        assert event.size == 0
+
+    def test_route_events_decode_to_route_delta(self):
+        for op in ("announce", "withdraw"):
+            event = parse_event(
+                json.dumps(
+                    {
+                        "type": op,
+                        "prefix": "12.65.128.0/19",
+                        "origin_asn": 7018,
+                        "source": "AADS",
+                        "reason": "churn",
+                    }
+                )
+            )
+            assert isinstance(event, RouteDelta)
+            assert event.op == op
+            assert event.prefix == Prefix.from_cidr("12.65.128.0/19")
+            assert event.origin_asn == 7018
+
+    def test_log_event_round_trip(self):
+        event = LogEvent(client=parse_ipv4("10.1.2.3"), url="/x", size=9)
+        assert parse_event(event.to_json()) == event
+
+    def test_route_delta_round_trip(self):
+        delta = RouteDelta(
+            op=RouteDelta.OP_WITHDRAW,
+            prefix=Prefix.from_cidr("10.0.0.0/8"),
+            source="AADS",
+        )
+        assert parse_event(delta.to_json()) == delta
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json at all",
+            "[1, 2, 3]",
+            '{"type": "teleport"}',
+            '{"url": "/missing-type"}',
+            '{"type": "log"}',
+            '{"type": "log", "client": "999.1.2.3"}',
+            '{"type": "announce", "prefix": "not-a-cidr"}',
+            '{"type": "withdraw"}',
+        ],
+    )
+    def test_malformed_lines_raise_protocol_error(self, line):
+        with pytest.raises(ServeProtocolError):
+            parse_event(line)
+
+    def test_protocol_error_is_repro_and_value_error(self):
+        """Taxonomy contract: callers may catch either family."""
+        assert issubclass(ServeProtocolError, ReproError)
+        assert issubclass(ServeProtocolError, ValueError)
