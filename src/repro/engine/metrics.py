@@ -44,6 +44,14 @@ class EngineMetrics:
         self.sanitize_lpm_crosschecks = 0
         self.sanitize_checkpoint_readbacks = 0
         self.sanitize_rng_draws = 0
+        self.wal_appends = 0
+        self.wal_syncs = 0
+        self.wal_rotations = 0
+        self.wal_segments_truncated = 0
+        self.wal_recovered_events = 0
+        self.wal_truncated_frames = 0
+        self.wal_enospc_recoveries = 0
+        self.shed_events = 0
         self.degraded = False
         self.total_seconds = 0.0
         self.max_batch_seconds = 0.0
@@ -135,6 +143,37 @@ class EngineMetrics:
         self.sanitize_checkpoint_readbacks += checkpoint_readbacks
         self.sanitize_rng_draws += rng_draws
 
+    def record_wal_append(self, synced: bool) -> None:
+        """One event frame reached the serve write-ahead log; ``synced``
+        marks the appends whose batched fsync fired."""
+        self.wal_appends += 1
+        if synced:
+            self.wal_syncs += 1
+
+    def record_wal_rotation(self) -> None:
+        """A WAL segment crossed its size threshold and was closed."""
+        self.wal_rotations += 1
+
+    def record_wal_truncated_segments(self, count: int) -> None:
+        """``count`` checkpoint-covered WAL segments were deleted."""
+        self.wal_segments_truncated += count
+
+    def record_wal_recovery(self, events: int, truncated_frames: int) -> None:
+        """One ``serve --resume --wal`` recovery: events re-fed from the
+        WAL tail, and torn tails repaired while reading it back."""
+        self.wal_recovered_events += events
+        self.wal_truncated_frames += truncated_frames
+
+    def record_wal_enospc_recovery(self) -> None:
+        """A WAL append hit ``ENOSPC``, and the checkpoint-truncate-retry
+        path got the event durably appended after all."""
+        self.wal_enospc_recoveries += 1
+
+    def record_shed(self, count: int = 1) -> None:
+        """``count`` log events were dropped by ingress overload
+        shedding (routing deltas are never shed)."""
+        self.shed_events += count
+
     def record_degraded(self) -> None:
         """The run fell back to inline (single-process) ingestion."""
         self.degraded = True
@@ -204,6 +243,14 @@ class EngineMetrics:
             "sanitize_lpm_crosschecks": self.sanitize_lpm_crosschecks,
             "sanitize_checkpoint_readbacks": self.sanitize_checkpoint_readbacks,
             "sanitize_rng_draws": self.sanitize_rng_draws,
+            "wal_appends": self.wal_appends,
+            "wal_syncs": self.wal_syncs,
+            "wal_rotations": self.wal_rotations,
+            "wal_segments_truncated": self.wal_segments_truncated,
+            "wal_recovered_events": self.wal_recovered_events,
+            "wal_truncated_frames": self.wal_truncated_frames,
+            "wal_enospc_recoveries": self.wal_enospc_recoveries,
+            "shed_events": self.shed_events,
             "degraded": int(self.degraded),
             "num_shards": self.num_shards,
             "total_seconds": self.total_seconds,
@@ -244,6 +291,14 @@ class EngineMetrics:
             "sanitize_lpm_crosschecks",
             "sanitize_checkpoint_readbacks",
             "sanitize_rng_draws",
+            "wal_appends",
+            "wal_syncs",
+            "wal_rotations",
+            "wal_segments_truncated",
+            "wal_recovered_events",
+            "wal_truncated_frames",
+            "wal_enospc_recoveries",
+            "shed_events",
             "degraded",
             "num_shards",
         ):

@@ -598,6 +598,10 @@ def read_checkpoint(
         meta["routing_epoch"] = int(document.get("routing_epoch", 0))
         meta["deltas_applied"] = int(document.get("deltas_applied", 0))
         stored_digest = document.get("table_digest", "")
+        # Surfaced for callers that restore the table itself from meta
+        # (serve WAL recovery keeps a pickled ``table_state`` there) and
+        # must prove it digests to what the checkpoint recorded.
+        meta["table_digest"] = str(stored_digest)
     except _UNPICKLE_ERRORS as exc:
         raise CheckpointCorruptError(
             f"checkpoint {path!r} payload does not decode despite a valid "

@@ -38,9 +38,15 @@ __all__ = [
     "ChunkQuarantinedError",
     "SupervisionError",
     "ServeProtocolError",
+    "ServeLineTooLongError",
+    "ServeDisconnectError",
+    "WalError",
+    "WalCorruptError",
+    "WalSealedError",
     "InjectedFault",
     "SanitizeError",
     "DegradedModeWarning",
+    "OverloadShedWarning",
 ]
 
 
@@ -111,6 +117,57 @@ class ServeProtocolError(ReproError, ValueError):
     """
 
 
+class ServeLineTooLongError(ServeProtocolError):
+    """An event line exceeded the stream's line-length budget.
+
+    Raised by :class:`repro.serve.protocol.LineSplitter` when a line
+    grows past ``max_line_bytes`` — whether or not its newline ever
+    arrives, so a hostile or broken client cannot balloon daemon memory
+    by never terminating a line.  The oversized line's bytes are
+    discarded and the error is counted under ``--max-errors``.
+    """
+
+
+class ServeDisconnectError(ServeProtocolError):
+    """A serve client vanished mid-frame.
+
+    The connection dropped (reset, or an injected ``serve.disconnect``)
+    while a partial event line was still buffered.  The torn frame is
+    discarded and counted under ``--max-errors``; the accept loop keeps
+    serving — daemon state persists across connections.
+    """
+
+
+# -- write-ahead log -------------------------------------------------------
+
+
+class WalError(ReproError, RuntimeError):
+    """Base of the write-ahead-log family (:mod:`repro.serve.wal`)."""
+
+
+class WalCorruptError(WalError):
+    """The WAL's bytes are damaged beyond the torn-tail rule.
+
+    A torn *tail* — an incomplete or CRC-failing frame at the very end
+    of the newest segment — is expected after a crash and is repaired
+    silently (truncate at the first bad frame, count it).  This error
+    means something worse: a bad frame in the *middle* of the log, a
+    segment with a mangled header, a gap in the segment sequence, or
+    event frames after a seal.  Recovery cannot trust anything past the
+    damage, so the daemon refuses to resume from it.
+    """
+
+
+class WalSealedError(WalError):
+    """An append was attempted on a sealed write-ahead log.
+
+    :meth:`~repro.serve.wal.WalWriter.seal` marks a graceful shutdown;
+    a sealed writer accepts no further frames.  Resuming a sealed log
+    from disk is fine — recovery starts a fresh segment — but the
+    in-process writer object is done for good.
+    """
+
+
 # -- fault injection -------------------------------------------------------
 
 
@@ -147,3 +204,10 @@ class SanitizeError(ReproError, RuntimeError):
 class DegradedModeWarning(UserWarning):
     """The supervisor gave up on the worker pool and is finishing the
     run inline in the driver process (same output, reduced throughput)."""
+
+
+class OverloadShedWarning(UserWarning):
+    """The serve daemon crossed its ingress high watermark and began
+    shedding *log* events (routing deltas are never shed — correctness
+    of the table outranks completeness of the request counts).  Every
+    dropped request is accounted in the ``shed_events`` counter."""

@@ -28,6 +28,16 @@ site                       effect
 ``serve.crash``            the serve daemon raises just before applying a
                            routing delta batch (simulates dying mid-patch;
                            the checkpoint on disk predates the batch)
+``serve.wal.torn``         a WAL append writes only half its frame and then
+                           the daemon dies — the torn write a crash leaves
+                           behind; recovery must truncate at the bad frame
+``serve.wal.enospc``       a WAL append fails with ``ENOSPC`` (disk full);
+                           the daemon must checkpoint, reclaim covered
+                           segments, and retry before giving up
+``serve.disconnect``       a serve client's connection drops mid-chunk
+                           (half the received bytes arrive, then a reset);
+                           the accept loop must count-and-skip the torn
+                           frame and keep serving
 =========================  =================================================
 
 Worker faults are *decided in the driver* at dispatch time and shipped
@@ -60,6 +70,9 @@ __all__ = [
     "SITE_LOG_TRUNCATE",
     "SITE_DUMP_MANGLE",
     "SITE_SERVE_CRASH",
+    "SITE_SERVE_WAL_TORN",
+    "SITE_SERVE_WAL_ENOSPC",
+    "SITE_SERVE_DISCONNECT",
     "ALL_SITES",
     "FaultSpec",
     "FaultPlan",
@@ -75,6 +88,9 @@ SITE_CHECKPOINT_TRUNCATE = "checkpoint.truncate"
 SITE_LOG_TRUNCATE = "log.truncate"
 SITE_DUMP_MANGLE = "dump.mangle"
 SITE_SERVE_CRASH = "serve.crash"
+SITE_SERVE_WAL_TORN = "serve.wal.torn"
+SITE_SERVE_WAL_ENOSPC = "serve.wal.enospc"
+SITE_SERVE_DISCONNECT = "serve.disconnect"
 
 ALL_SITES = (
     SITE_WORKER_CRASH,
@@ -85,6 +101,9 @@ ALL_SITES = (
     SITE_LOG_TRUNCATE,
     SITE_DUMP_MANGLE,
     SITE_SERVE_CRASH,
+    SITE_SERVE_WAL_TORN,
+    SITE_SERVE_WAL_ENOSPC,
+    SITE_SERVE_DISCONNECT,
 )
 
 #: Sites whose faults are executed inside a worker process (the driver

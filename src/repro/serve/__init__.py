@@ -12,9 +12,13 @@ post-hoc repair pass.
 Layout:
 
 * :mod:`repro.serve.protocol` — the wire format (one JSON object per
-  line: ``log`` / ``announce`` / ``withdraw`` events);
+  line: ``log`` / ``announce`` / ``withdraw`` events) and the bounded
+  :class:`LineSplitter` that reassembles it from byte chunks;
+* :mod:`repro.serve.wal` — the segmented write-ahead log
+  (:class:`WalWriter` / :func:`recover_wal`) behind ``--wal``;
 * :mod:`repro.serve.daemon` — :class:`ServeDaemon`, the event loop
-  state machine (batching, delta coalescing, checkpoint/resume);
+  state machine (batching, delta coalescing, checkpoint/resume, WAL
+  recovery, overload shedding);
 * :mod:`repro.serve.cli` — ``repro-engine serve``.
 """
 
@@ -23,10 +27,12 @@ from repro.serve.protocol import (
     EVENT_ANNOUNCE,
     EVENT_LOG,
     EVENT_WITHDRAW,
+    LineSplitter,
     LogEvent,
     ServeEvent,
     parse_event,
 )
+from repro.serve.wal import WalRecovery, WalWriter, recover_wal
 
 __all__ = [
     "ServeConfig",
@@ -34,7 +40,11 @@ __all__ = [
     "EVENT_LOG",
     "EVENT_ANNOUNCE",
     "EVENT_WITHDRAW",
+    "LineSplitter",
     "LogEvent",
     "ServeEvent",
     "parse_event",
+    "WalRecovery",
+    "WalWriter",
+    "recover_wal",
 ]

@@ -5,17 +5,38 @@ or a local UNIX socket::
 
     repro-bgp-synth --stream 100000 | \\
         repro-engine serve --stdin --table aads.dump --lpm stride \\
-            --checkpoint live.ckpt --checkpoint-every 20000 --metrics
+            --checkpoint live.ckpt --checkpoint-every 20000 \\
+            --wal live.wal --metrics
 
 Routing deltas are applied to the live table *in place* — no full
 rebuild — and only the clients inside the patched address windows are
 reclustered.  ``--verify-final`` runs the equivalence gate at the end
 of the stream: the patched table must match a from-scratch rebuild at
-the final routing state, intervals and digest alike.  ``--resume``
-restarts from a ``--checkpoint`` file mid-stream: replay the same
-stream and the daemon drops the already-counted requests, re-applies
-the deltas, and proves at the boundary that it reproduced the
-checkpointed routing state before accumulating anything new.
+the final routing state, intervals and digest alike.
+
+Durability: ``--wal DIR`` appends every accepted event to a segmented,
+CRC-framed write-ahead log *before* it mutates daemon state (fsync
+batched per ``--wal-sync-every``, segments rotated at
+``--wal-segment-bytes`` and deleted once a checkpoint covers them).
+``--resume`` with ``--wal`` then recovers from checkpoint + WAL tail
+alone — no upstream replay — proving the routing epoch and table digest
+at the boundary; without ``--wal`` it falls back to the original
+replay-the-same-stream protocol.
+
+Overload: ``--shed-watermark N`` bounds the ingress queue; past the
+watermark the daemon sheds *log* events (never routing deltas) until
+the queue drains to half, with every drop counted in ``shed_events``.
+``--max-line-bytes`` bounds one event line; oversized lines and clients
+that vanish mid-frame are counted-and-skipped under ``--max-errors``
+without dropping the accept loop.  ``--heartbeat N`` prints a health
+line to stderr every N events.
+
+Signals and exit codes: SIGTERM and SIGINT trigger a graceful drain —
+flush buffers, final checkpoint, WAL seal — then exit 3 (SIGTERM) or
+4 (SIGINT).  0 is a clean end of stream, 1 a fatal error (injected
+fault, checkpoint failure, error budget exhausted), 5 a write-ahead-log
+failure (corrupt log on recovery, or disk genuinely full after the
+checkpoint-truncate-retry rescue).
 
 Checkpoint files are pickle-based: only ``--resume`` from files you
 wrote yourself (see :mod:`repro.engine.state`).
@@ -24,21 +45,50 @@ wrote yourself (see :mod:`repro.engine.state`).
 from __future__ import annotations
 
 import argparse
+import errno
 import os
+import select
+import signal
 import socket
 import sys
-from typing import Iterable, Iterator, List, Optional
+from dataclasses import dataclass
+from types import FrameType
+from typing import Iterator, List, Optional, Union
 
 from repro.cli import load_tables, print_cluster_report
 from repro.engine.fastpath import LPM_KINDS, build_lpm_table
 from repro.engine.metrics import EngineMetrics
 from repro.engine.state import CheckpointError
-from repro.errors import InjectedFault, ServeProtocolError
-from repro.faults import FaultInjector, FaultPlan
+from repro.errors import InjectedFault, ServeProtocolError, WalError
+from repro.faults import SITE_SERVE_DISCONNECT, FaultInjector, FaultPlan
 from repro.serve.daemon import ServeConfig, ServeDaemon
-from repro.serve.protocol import parse_event
+from repro.serve.protocol import (
+    DEFAULT_MAX_LINE_BYTES,
+    LineSplitter,
+    parse_event,
+)
 
-__all__ = ["serve_main", "build_serve_parser"]
+__all__ = [
+    "serve_main",
+    "build_serve_parser",
+    "EXIT_OK",
+    "EXIT_FATAL",
+    "EXIT_SIGTERM",
+    "EXIT_SIGINT",
+    "EXIT_WAL",
+]
+
+EXIT_OK = 0
+EXIT_FATAL = 1
+# 2 is argparse's usage-error exit.
+EXIT_SIGTERM = 3
+EXIT_SIGINT = 4
+EXIT_WAL = 5
+
+#: Socket/stdin poll granularity: the longest a latched signal waits
+#: before the loop notices it.
+_POLL_SECONDS = 0.25
+_CHUNK_BYTES = 1 << 16
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -57,8 +107,8 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     feed.add_argument(
         "--socket", metavar="PATH", default=None,
-        help="listen on a UNIX socket at PATH and serve one connection's "
-             "stream to completion",
+        help="listen on a UNIX socket at PATH and serve connections until "
+             "signalled; daemon state persists across connections",
     )
     parser.add_argument(
         "--table", "-t", action="append", default=[], metavar="DUMP",
@@ -84,7 +134,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-errors", type=int, default=None, metavar="N",
         help="abort when more than N undecodable event lines accumulate "
-             "(default: skip-and-count forever)",
+             "(oversized lines and mid-frame disconnects count too; "
+             "default: skip-and-count forever)",
+    )
+    parser.add_argument(
+        "--max-line-bytes", type=int, default=DEFAULT_MAX_LINE_BYTES,
+        metavar="N",
+        help="per-event-line byte budget; longer lines are discarded and "
+             f"counted under --max-errors (default {DEFAULT_MAX_LINE_BYTES})",
     )
     parser.add_argument(
         "--checkpoint", metavar="PATH", default=None,
@@ -97,15 +154,43 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--resume", action="store_true",
-        help="restore state from --checkpoint, then replay the same "
-             "stream: checkpointed requests are skipped, deltas are "
-             "re-applied, and the routing generation is verified at the "
-             "boundary",
+        help="restore state from --checkpoint; with --wal, recover from "
+             "checkpoint + WAL tail alone (no upstream replay), otherwise "
+             "replay the same stream and verify the routing generation at "
+             "the boundary",
+    )
+    parser.add_argument(
+        "--wal", metavar="DIR", default=None,
+        help="append every accepted event to a write-ahead log in DIR "
+             "before applying it; enables --resume without stream replay",
+    )
+    parser.add_argument(
+        "--wal-sync-every", type=int, default=64, metavar="N",
+        help="fsync the WAL once per N appends (1 = every event is "
+             "durable before it is applied; default 64)",
+    )
+    parser.add_argument(
+        "--wal-segment-bytes", type=int, default=4 << 20, metavar="N",
+        help="rotate WAL segments at N bytes; closed segments are deleted "
+             "once a checkpoint covers them (default 4 MiB)",
+    )
+    parser.add_argument(
+        "--shed-watermark", type=int, default=0, metavar="N",
+        help="shed log events (never routing deltas) while the ingress "
+             "queue exceeds N, until it drains to N/2; should exceed "
+             "--batch-size (0 = never shed)",
+    )
+    parser.add_argument(
+        "--heartbeat", type=int, default=0, metavar="EVENTS",
+        help="print a health line to stderr every EVENTS stream events "
+             "(0 = off)",
     )
     parser.add_argument(
         "--inject", metavar="PLAN.json", default=None,
         help="arm a repro.faults FaultPlan (serve.crash kills the daemon "
-             "just before a delta batch is applied)",
+             "mid-delta; serve.wal.torn tears a WAL append; "
+             "serve.wal.enospc fails one with ENOSPC; serve.disconnect "
+             "drops a client mid-chunk)",
     )
     parser.add_argument(
         "--verify-final", action="store_true",
@@ -117,7 +202,9 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print engine counters including the churn family "
              "(routes announced/withdrawn, clients reclustered, patch "
-             "latency, rebuild fallbacks)",
+             "latency, rebuild fallbacks) and the durability family "
+             "(WAL appends/syncs/rotations, recovered events, shed "
+             "events)",
     )
     parser.add_argument(
         "--busy", type=float, default=None, metavar="SHARE",
@@ -130,29 +217,119 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _socket_lines(path: str) -> Iterator[str]:
-    """Accept one connection on a UNIX socket and yield its lines."""
+class _SignalFlag:
+    """Latches the first SIGTERM/SIGINT so the serve loop can drain
+    gracefully instead of dying mid-batch.  A second signal falls back
+    to Python's default handling (KeyboardInterrupt / termination), so
+    an operator can still insist."""
+
+    def __init__(self) -> None:
+        self.fired: Optional[int] = None
+
+    def install(self) -> None:
+        signal.signal(signal.SIGTERM, self._handle)
+        signal.signal(signal.SIGINT, self._handle)
+
+    def _handle(self, signum: int, frame: Optional[FrameType]) -> None:
+        if self.fired is None:
+            self.fired = signum
+            return
+        # Second signal: stop being graceful.
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+
+
+@dataclass(frozen=True)
+class _StreamEnd:
+    """Sentinel yielded by the chunk feeds between byte chunks:
+    ``clean`` distinguishes orderly EOF from a vanished peer, ``final``
+    marks the end of the whole run (stdin EOF, or a latched signal)."""
+
+    clean: bool
+    final: bool
+
+
+_StreamItem = Union[bytes, _StreamEnd]
+
+
+def _stdin_chunks(flag: _SignalFlag) -> Iterator[_StreamItem]:
+    """Byte chunks from stdin, polling so a latched signal is noticed
+    even while the pipe is idle."""
+    fd = sys.stdin.fileno()
+    while True:
+        if flag.fired is not None:
+            yield _StreamEnd(clean=True, final=True)
+            return
+        ready, _, _ = select.select([fd], [], [], _POLL_SECONDS)
+        if not ready:
+            continue
+        chunk = os.read(fd, _CHUNK_BYTES)
+        if not chunk:
+            yield _StreamEnd(clean=True, final=True)
+            return
+        yield chunk
+
+
+def _socket_chunks(
+    path: str, flag: _SignalFlag, injector: Optional[FaultInjector]
+) -> Iterator[_StreamItem]:
+    """Byte chunks from a UNIX-socket accept loop.
+
+    Serves connections sequentially until a signal latches; daemon
+    state persists across connections.  A peer that resets (or an
+    injected ``serve.disconnect``, which delivers half the chunk and
+    then drops the connection) ends its stream with
+    ``_StreamEnd(clean=False)`` — the consumer discards the torn frame
+    and the loop accepts the next client.  Binds eagerly so the
+    "listening" line below is printed only once the socket exists.
+    """
     if os.path.exists(path):
         os.unlink(path)
     server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    try:
-        server.bind(path)
-        server.listen(1)
-        connection, _ = server.accept()
+    server.bind(path)
+    server.listen(1)
+    server.settimeout(_POLL_SECONDS)
+    print(f"listening on {path}", flush=True)
+
+    def generate() -> Iterator[_StreamItem]:
         try:
-            with connection.makefile(
-                "r", encoding="utf-8", errors="replace"
-            ) as handle:
-                for line in handle:
-                    yield line
+            while flag.fired is None:
+                try:
+                    connection, _ = server.accept()
+                except socket.timeout:
+                    continue
+                clean = True
+                try:
+                    connection.settimeout(_POLL_SECONDS)
+                    while flag.fired is None:
+                        try:
+                            chunk = connection.recv(_CHUNK_BYTES)
+                        except socket.timeout:
+                            continue
+                        except OSError:
+                            clean = False
+                            break
+                        if not chunk:
+                            break
+                        if injector is not None and (
+                            injector.fire(SITE_SERVE_DISCONNECT) is not None
+                        ):
+                            yield chunk[: max(1, len(chunk) // 2)]
+                            clean = False
+                            break
+                        yield chunk
+                finally:
+                    connection.close()
+                yield _StreamEnd(clean=clean, final=flag.fired is not None)
+            yield _StreamEnd(clean=True, final=True)
         finally:
-            connection.close()
-    finally:
-        server.close()
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
+            server.close()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    return generate()
 
 
 def serve_main(argv: Optional[List[str]] = None) -> int:
@@ -162,12 +339,22 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         parser.error("the daemon needs at least one --table dump")
     if args.checkpoint_every and not args.checkpoint:
         parser.error("--checkpoint-every requires --checkpoint PATH")
-    if args.resume and not args.checkpoint:
-        parser.error("--resume requires --checkpoint PATH")
+    if args.resume and not (args.checkpoint or args.wal):
+        parser.error("--resume requires --checkpoint PATH or --wal DIR")
     if args.memo_size < 0:
         parser.error("--memo-size must be >= 0")
     if args.batch_size < 1:
         parser.error("--batch-size must be >= 1")
+    if args.max_line_bytes < 1:
+        parser.error("--max-line-bytes must be >= 1")
+    if args.wal_sync_every < 1:
+        parser.error("--wal-sync-every must be >= 1")
+    if args.wal_segment_bytes < 64:
+        parser.error("--wal-segment-bytes must be >= 64")
+    if args.shed_watermark < 0:
+        parser.error("--shed-watermark must be >= 0")
+    if args.heartbeat < 0:
+        parser.error("--heartbeat must be >= 0")
 
     injector: Optional[FaultInjector] = None
     if args.inject:
@@ -185,56 +372,157 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         batch_size=args.batch_size,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        wal_dir=args.wal,
+        wal_sync_every=args.wal_sync_every,
+        wal_segment_bytes=args.wal_segment_bytes,
+        shed_watermark=args.shed_watermark,
     )
     daemon = ServeDaemon(
         table, config, EngineMetrics(1), injector=injector
     )
-    if args.resume:
+    if args.resume and args.wal:
+        try:
+            refed = daemon.recover()
+        except WalError as exc:
+            print(f"cannot recover: {exc}", file=sys.stderr)
+            return EXIT_WAL
+        except CheckpointError as exc:
+            print(f"cannot recover: {exc}", file=sys.stderr)
+            return EXIT_FATAL
+        print(
+            f"recovered from checkpoint + WAL: state at "
+            f"{daemon.events_consumed:,} stream events "
+            f"({refed:,} re-fed from the WAL tail, no upstream replay)"
+        )
+    elif args.resume:
         if os.path.exists(args.checkpoint):
             try:
                 daemon.resume_from(args.checkpoint)
             except CheckpointError as exc:
                 print(f"cannot resume: {exc}", file=sys.stderr)
-                return 1
+                return EXIT_FATAL
             print(
                 f"resumed from {args.checkpoint}: replaying the first "
                 f"{daemon.resume_skip:,} stream events"
             )
         else:
             print(f"no checkpoint at {args.checkpoint}; starting fresh")
+    elif args.wal:
+        daemon.attach_wal()
 
-    lines: Iterable[str]
+    flag = _SignalFlag()
+    flag.install()
+    chunks: Iterator[_StreamItem]
     if args.stdin:
-        lines = sys.stdin
+        chunks = _stdin_chunks(flag)
     else:
-        print(f"listening on {args.socket}", flush=True)
-        lines = _socket_lines(args.socket)
+        chunks = _socket_chunks(args.socket, flag, injector)
 
+    splitter = LineSplitter(args.max_line_bytes)
     bad_lines = 0
+    submitted = 0
+    last_beat = 0
+
+    def count_error(exc: ServeProtocolError) -> bool:
+        """Count one undecodable line; True = budget exhausted."""
+        nonlocal bad_lines
+        bad_lines += 1
+        daemon.metrics.record_malformed()
+        if args.max_errors is not None and bad_lines > args.max_errors:
+            print(f"aborting: {exc} ({bad_lines:,} undecodable lines)",
+                  file=sys.stderr)
+            return True
+        return False
+
+    def consume(line: str) -> bool:
+        """Parse and submit one line; True = budget exhausted."""
+        nonlocal last_beat, submitted
+        try:
+            event = parse_event(line)
+        except ServeProtocolError as exc:
+            return count_error(exc)
+        if event is None:
+            return False
+        daemon.submit(event)
+        submitted += 1
+        if daemon.ingress_depth >= args.batch_size:
+            daemon.pump()
+        # Keyed on submissions, not events_consumed: queued events
+        # haven't been applied yet, but the daemon is demonstrably
+        # alive — which is what a heartbeat reports.
+        if args.heartbeat and submitted - last_beat >= args.heartbeat:
+            last_beat = submitted
+            health = daemon.health()
+            print(
+                "heartbeat: "
+                + " ".join(f"{k}={v}" for k, v in health.items()),
+                file=sys.stderr, flush=True,
+            )
+        return False
+
     try:
-        for line in lines:
-            try:
-                event = parse_event(line)
-            except ServeProtocolError as exc:
-                bad_lines += 1
-                daemon.metrics.record_malformed()
-                if args.max_errors is not None and bad_lines > args.max_errors:
-                    print(f"aborting: {exc} "
-                          f"({bad_lines:,} undecodable lines)",
-                          file=sys.stderr)
-                    return 1
+        for item in chunks:
+            if isinstance(item, _StreamEnd):
+                if item.clean:
+                    tail = splitter.flush()
+                    if tail is not None and consume(tail):
+                        daemon.abort()
+                        return EXIT_FATAL
+                else:
+                    try:
+                        splitter.abandon()
+                    except ServeProtocolError as exc:
+                        if count_error(exc):
+                            daemon.abort()
+                            return EXIT_FATAL
+                if item.final:
+                    break
                 continue
-            if event is None:
-                continue
-            daemon.feed(event)
+            splitter.push(item)
+            while True:
+                try:
+                    line = splitter.next_line()
+                except ServeProtocolError as exc:
+                    if count_error(exc):
+                        daemon.abort()
+                        return EXIT_FATAL
+                    continue
+                if line is None:
+                    break
+                if consume(line):
+                    daemon.abort()
+                    return EXIT_FATAL
         daemon.finish()
     except InjectedFault as exc:
+        daemon.abort()
         print(f"fatal: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FATAL
     except CheckpointError as exc:
+        daemon.abort()
         print(f"fatal: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FATAL
+    except WalError as exc:
+        daemon.abort()
+        print(f"fatal: {exc}", file=sys.stderr)
+        return EXIT_WAL
+    except OSError as exc:
+        if exc.errno != errno.ENOSPC:
+            raise
+        daemon.abort()
+        print(f"fatal: write-ahead log out of disk space ({exc})",
+              file=sys.stderr)
+        return EXIT_WAL
 
+    exit_code = EXIT_OK
+    if flag.fired is not None:
+        name = signal.Signals(flag.fired).name
+        exit_code = EXIT_SIGTERM if flag.fired == signal.SIGTERM else EXIT_SIGINT
+        print(
+            f"graceful drain after {name}: buffers flushed"
+            + (", checkpoint written" if args.checkpoint else "")
+            + (", WAL sealed" if args.wal else ""),
+            file=sys.stderr,
+        )
     if bad_lines:
         print(f"warning: skipped {bad_lines:,} undecodable event line(s)",
               file=sys.stderr)
@@ -257,7 +545,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     if args.metrics:
         print()
         print(daemon.metrics.render())
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

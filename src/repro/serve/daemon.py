@@ -37,6 +37,24 @@ generation, same table digest — before new events are accumulated.
 Byte-identical resume assumes the same stream and the same
 ``--batch-size`` / ``--checkpoint-every`` settings.
 
+With a write-ahead log attached (``--wal``; :mod:`repro.serve.wal`),
+the recovery story no longer needs the upstream at all: every accepted
+event is appended to the WAL *before* it mutates daemon state, and
+checkpoints persist the live table itself (``meta["table_state"]``), so
+:meth:`ServeDaemon.recover` rebuilds the exact pre-crash state from
+checkpoint + WAL tail alone — adopt the checkpointed table and store,
+prove the epoch/digest boundary, then re-feed only the WAL frames past
+the checkpoint.  The full-stream replay above remains the fallback for
+runs without ``--wal``.
+
+Overload is handled ahead of :meth:`feed`: :meth:`submit` admits events
+into a bounded ingress queue with high/low watermarks, and under
+sustained pressure sheds *log* events only — routing deltas are always
+accepted, because a stale table corrupts every later assignment while a
+dropped request merely undercounts one — with every drop counted in
+``shed_events`` and the first drop announced via
+:class:`~repro.errors.OverloadShedWarning`.
+
 Under ``REPRO_SANITIZE=1`` a sampled subset of patches is followed by
 :meth:`verify_patched` — the full patched-equals-rebuilt equivalence
 gate — at runtime, not just in tests.
@@ -44,9 +62,13 @@ gate — at runtime, not just in tests.
 
 from __future__ import annotations
 
+import errno
+import os
+import warnings
+from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.analysis import sanitize as _sanitize
 from repro.bgp.synth import RouteDelta
@@ -63,10 +85,11 @@ from repro.engine.state import (
     read_checkpoint,
     write_checkpoint,
 )
-from repro.errors import InjectedFault
+from repro.errors import InjectedFault, OverloadShedWarning, WalCorruptError
 from repro.faults import SITE_SERVE_CRASH, FaultInjector
 from repro.net.prefix import Prefix
-from repro.serve.protocol import ServeEvent
+from repro.serve.protocol import LogEvent, ServeEvent, parse_event
+from repro.serve.wal import WalWriter, recover_wal
 
 __all__ = ["ServeConfig", "ServeDaemon"]
 
@@ -78,13 +101,27 @@ PATCH_FALLBACK_FLOOR = 64
 
 @dataclass
 class ServeConfig:
-    """Tunables for one daemon run."""
+    """Tunables for one daemon run.
+
+    ``wal_dir`` enables the write-ahead log (``None`` = durability off,
+    the pre-WAL behaviour).  ``shed_watermark`` bounds the ingress
+    queue: 0 disables shedding entirely; otherwise crossing it starts
+    dropping log events until the queue drains to ``shed_low``
+    (defaulting to half the watermark).  The watermark should exceed
+    ``batch_size`` — the serve loop drains a batch at a time, so a
+    smaller watermark would shed during perfectly healthy batching.
+    """
 
     name: str = "serve"
     batch_size: int = 4096
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 0
     checkpoint_attempts: int = 3
+    wal_dir: Optional[str] = None
+    wal_sync_every: int = 64
+    wal_segment_bytes: int = 4 << 20
+    shed_watermark: int = 0
+    shed_low: int = 0
 
 
 class ServeDaemon:
@@ -110,6 +147,9 @@ class ServeDaemon:
         self._resume_skip = 0
         self._resume_path: Optional[str] = None
         self._resume_meta: Dict[str, Any] = {}
+        self._wal: Optional[WalWriter] = None
+        self._ingress: Deque[ServeEvent] = deque()
+        self._shedding = False
 
     # -- resume ----------------------------------------------------------
 
@@ -144,10 +184,210 @@ class ServeDaemon:
             self.events_consumed < self._resume_skip
         )
 
+    # -- write-ahead log -------------------------------------------------
+
+    def attach_wal(self) -> None:
+        """Start a fresh write-ahead log at ``config.wal_dir``.
+
+        For new runs only — a directory holding a previous run's log is
+        overwritten segment by segment.  Resumed runs go through
+        :meth:`recover`, which continues the existing log instead.
+        """
+        if self.config.wal_dir is None:
+            raise ValueError("attach_wal needs config.wal_dir set")
+        self._wal = WalWriter(
+            self.config.wal_dir,
+            sync_every=self.config.wal_sync_every,
+            segment_bytes=self.config.wal_segment_bytes,
+            injector=self.injector,
+            start_index=self.events_consumed,
+        )
+
+    def _wal_append(self, event: ServeEvent) -> None:
+        """Durably log one event before it touches any state.
+
+        ``ENOSPC`` gets one recovery attempt: a checkpoint makes every
+        closed WAL segment it covers redundant, and truncating them is
+        the only space this daemon can legally free — so checkpoint,
+        truncate, retry.  A second failure propagates (the disk is
+        genuinely full and durability cannot be honoured).
+        """
+        wal = self._wal
+        if wal is None:
+            return
+        payload = event.to_json().encode("utf-8")
+        try:
+            receipt = wal.append(payload)
+        except OSError as exc:
+            if exc.errno != errno.ENOSPC:
+                raise
+            self.checkpoint_now()
+            receipt = wal.append(payload)
+            self.metrics.record_wal_enospc_recovery()
+        self.metrics.record_wal_append(receipt.synced)
+        if receipt.rotated:
+            self.metrics.record_wal_rotation()
+
+    def recover(self) -> int:
+        """Rebuild pre-crash state from checkpoint + WAL tail alone.
+
+        No upstream replay: the checkpoint's ``table_state`` (persisted
+        by WAL-mode checkpoints) is adopted outright, the epoch/digest
+        boundary proof runs against it, and only the WAL frames past the
+        checkpoint's ``stream_events`` are re-fed — they are exactly the
+        events whose effects the crash destroyed.  Finishes by resuming
+        the log in a fresh segment so the run keeps appending.  Returns
+        the number of events re-fed.
+        """
+        wal_dir = self.config.wal_dir
+        if wal_dir is None:
+            raise ValueError("recover needs config.wal_dir set")
+        recovery = recover_wal(wal_dir)
+        base = 0
+        path = self.config.checkpoint_path
+        # A checkpoint that was never written is a legal fresh start
+        # (the WAL still holds everything from event 0, because segment
+        # truncation only ever follows a checkpoint); a checkpoint that
+        # exists but cannot be read is NOT — recovering from scratch
+        # would silently drop whatever the truncated segments covered —
+        # so read errors propagate.
+        if path is not None and os.path.exists(path):
+            stores, meta = read_checkpoint(path)
+            if len(stores) != 1:
+                raise CheckpointError(
+                    "serve checkpoints hold one store, found "
+                    f"{len(stores)} shards"
+                )
+            restored = meta.get("table_state")
+            if restored is None:
+                raise CheckpointTableMismatchError(
+                    f"checkpoint {path!r} carries no table_state — it "
+                    "was written without --wal, so it can only resume "
+                    "by full-stream replay, not WAL recovery"
+                )
+            if isinstance(self.table, MemoizedLookup):
+                self.table.table = restored
+                self.table.clear_memo()
+            else:
+                self.table = restored
+            self._verify_recovered_table(meta)
+            self.store = stores[0]
+            self.events_consumed = int(meta.get("stream_events", 0))
+            self.deltas_received = int(meta.get("deltas_received", 0))
+            base = self.events_consumed
+        tail = [pair for pair in recovery.events if pair[0] >= base]
+        if recovery.next_index < base or len(tail) != recovery.next_index - base:
+            raise WalCorruptError(
+                f"WAL at {wal_dir!r} does not cover the checkpoint "
+                f"boundary: checkpoint at stream event {base}, WAL holds "
+                f"{len(tail)} events up to {recovery.next_index} — "
+                "segments are missing"
+            )
+        for index, payload in tail:
+            event = parse_event(payload.decode("utf-8"))
+            if event is None:
+                raise WalCorruptError(
+                    f"WAL frame {index} decodes to no event — the log was "
+                    "not written by this daemon"
+                )
+            self.feed(event)
+        self._flush_all()
+        self.metrics.record_wal_recovery(len(tail), recovery.truncated_frames)
+        self._wal = WalWriter.resume(
+            wal_dir,
+            recovery,
+            sync_every=self.config.wal_sync_every,
+            segment_bytes=self.config.wal_segment_bytes,
+            injector=self.injector,
+        )
+        return len(tail)
+
+    def _verify_recovered_table(self, meta: Dict[str, Any]) -> None:
+        """The boundary proof, WAL flavour: the adopted table must carry
+        exactly the routing generation and digest the checkpoint was
+        taken against."""
+        expected_epoch = int(meta.get("routing_epoch", 0))
+        expected_deltas = int(meta.get("deltas_applied", 0))
+        actual = (int(self.table.epoch), int(self.table.deltas_applied))
+        if actual != (expected_epoch, expected_deltas):
+            raise CheckpointTableMismatchError(
+                "recovered table's routing generation does not match the "
+                f"checkpoint (checkpoint epoch {expected_epoch} / "
+                f"{expected_deltas} deltas; table {actual[0]} / {actual[1]})"
+            )
+        expected_digest = str(meta.get("table_digest", ""))
+        if expected_digest and self.table.digest() != expected_digest:
+            raise CheckpointTableMismatchError(
+                "recovered table's digest does not match the checkpoint "
+                f"(stored {expected_digest[:12]}…, "
+                f"restored {self.table.digest()[:12]}…)"
+            )
+
+    # -- bounded ingress --------------------------------------------------
+
+    def submit(self, event: ServeEvent) -> bool:
+        """Admit one event through the overload gate.
+
+        With no watermark configured this is :meth:`feed`.  Otherwise
+        the event joins the ingress queue — unless shedding is active
+        and it is a log event, in which case it is dropped and counted
+        (``False`` return).  Routing deltas are *never* shed: a stale
+        table silently mis-clusters every later request, while a
+        dropped request only undercounts one.
+        """
+        high = self.config.shed_watermark
+        if high <= 0:
+            self.feed(event)
+            return True
+        size = len(self._ingress)
+        if self._shedding:
+            if size <= self._shed_floor():
+                self._shedding = False
+        elif size >= high:
+            self._shedding = True
+            warnings.warn(
+                f"ingress queue reached {size} events (watermark "
+                f"{high}); shedding log events until it drains to "
+                f"{self._shed_floor()}",
+                OverloadShedWarning,
+                stacklevel=2,
+            )
+        if self._shedding and isinstance(event, LogEvent):
+            self.metrics.record_shed(1)
+            return False
+        self._ingress.append(event)
+        return True
+
+    def pump(self, limit: Optional[int] = None) -> int:
+        """Drain up to ``limit`` queued events into :meth:`feed`
+        (everything queued when ``limit`` is ``None``).  Returns the
+        number drained."""
+        drained = 0
+        ingress = self._ingress
+        while ingress and (limit is None or drained < limit):
+            self.feed(ingress.popleft())
+            drained += 1
+        return drained
+
+    def _shed_floor(self) -> int:
+        if self.config.shed_low > 0:
+            return self.config.shed_low
+        return self.config.shed_watermark // 2
+
+    @property
+    def shedding(self) -> bool:
+        """True while the overload gate is dropping log events."""
+        return self._shedding
+
+    @property
+    def ingress_depth(self) -> int:
+        return len(self._ingress)
+
     # -- event loop ------------------------------------------------------
 
     def feed(self, event: ServeEvent) -> None:
         """Consume one stream event (request or routing delta)."""
+        self._wal_append(event)
         self.events_consumed += 1
         self._since_checkpoint += 1
         if isinstance(event, RouteDelta):
@@ -171,10 +411,16 @@ class ServeDaemon:
             and self._since_checkpoint >= self.config.checkpoint_every
         ):
             self.checkpoint_now()
-            self._since_checkpoint = 0
 
     def finish(self) -> None:
-        """Flush all buffers, write the final checkpoint, drain stats."""
+        """Drain ingress, flush, final checkpoint, seal the WAL.
+
+        The order matters: the checkpoint is written (and covered WAL
+        segments truncated) *before* the seal, so a sealed log always
+        ends with a segment the checkpoint still references — recovery
+        after a graceful shutdown finds a sealed, contiguous log.
+        """
+        self.pump()
         if self.replaying:
             raise CheckpointTableMismatchError(
                 f"stream ended after {self.events_consumed:,} events but "
@@ -184,7 +430,33 @@ class ServeDaemon:
         self._flush_all()
         if self.config.checkpoint_path:
             self.checkpoint_now()
+        if self._wal is not None and not self._wal.sealed:
+            self._wal.seal()
         self._drain_stats()
+
+    def abort(self) -> None:
+        """Crash-consistent teardown for fatal errors: sync and close
+        the WAL *without* sealing, so recovery treats the run as a crash
+        and replays its tail.  Buffers are deliberately not flushed —
+        their events are in the WAL, and applying them here could mask
+        the very state the fatal error poisoned."""
+        if self._wal is not None and not self._wal.sealed:
+            self._wal.close()
+
+    def health(self) -> Dict[str, Any]:
+        """One heartbeat's worth of liveness figures (plain types)."""
+        return {
+            "events": self.events_consumed,
+            "deltas": self.deltas_received,
+            "clusters": len(self.store),
+            "unclustered": self.store.num_unclustered,
+            "ingress": len(self._ingress),
+            "shedding": self._shedding,
+            "shed_events": self.metrics.shed_events,
+            "wal_appends": self.metrics.wal_appends,
+            "checkpoints": self.metrics.checkpoints_written,
+            "epoch": int(self.table.epoch),
+        }
 
     def snapshot(self, name: Optional[str] = None) -> ClusterSet:
         """Materialise the current clusters (non-destructive)."""
@@ -313,18 +585,37 @@ class ServeDaemon:
 
     def checkpoint_now(self) -> None:
         """Flush and write a verified checkpoint (no-op while replaying,
-        when the on-disk checkpoint is already ahead of us)."""
+        when the on-disk checkpoint is already ahead of us).
+
+        Resets the periodic-checkpoint countdown itself, so direct
+        calls — from :meth:`finish`, a signal handler, or the ENOSPC
+        path — push the next periodic checkpoint out instead of letting
+        it fire immediately after.
+
+        WAL-mode checkpoints additionally persist the live table
+        (``meta["table_state"]``) so :meth:`recover` needs no stream
+        replay, and afterwards delete every closed WAL segment the new
+        checkpoint covers.
+        """
         path = self.config.checkpoint_path
         if path is None:
             return
         self._flush_all()
+        self._since_checkpoint = 0
         if self.replaying:
             return
         digest = self.table.digest()
-        meta = {
+        meta: Dict[str, Any] = {
             "stream": self.config.name,
             "stream_events": self.events_consumed,
         }
+        if self.config.wal_dir is not None:
+            meta["deltas_received"] = self.deltas_received
+            meta["table_state"] = (
+                self.table.table
+                if isinstance(self.table, MemoizedLookup)
+                else self.table
+            )
         for attempt in range(1, self.config.checkpoint_attempts + 1):
             write_checkpoint(
                 path,
@@ -344,6 +635,10 @@ class ServeDaemon:
                     raise
                 self.metrics.record_checkpoint_rewrite()
         self.metrics.record_checkpoint()
+        if self._wal is not None:
+            removed = self._wal.truncate_covered(self.events_consumed)
+            if removed:
+                self.metrics.record_wal_truncated_segments(removed)
 
     def _verify_resume_boundary(self) -> None:
         """Prove the replay reproduced the checkpointed routing state."""

@@ -31,17 +31,28 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Union
 
 from repro.bgp.synth import RouteDelta
-from repro.errors import ServeProtocolError
+from repro.errors import (
+    ServeDisconnectError,
+    ServeLineTooLongError,
+    ServeProtocolError,
+)
 from repro.net.ipv4 import AddressError, format_ipv4, parse_ipv4
 
 __all__ = [
     "EVENT_LOG",
     "EVENT_ANNOUNCE",
     "EVENT_WITHDRAW",
+    "DEFAULT_MAX_LINE_BYTES",
     "LogEvent",
     "ServeEvent",
+    "LineSplitter",
     "parse_event",
 ]
+
+#: Default per-line byte budget for :class:`LineSplitter`.  Generous —
+#: real event lines are well under 200 bytes — but finite, so a client
+#: that never sends a newline cannot grow daemon memory without bound.
+DEFAULT_MAX_LINE_BYTES = 1 << 16
 
 EVENT_LOG = "log"
 EVENT_ANNOUNCE = RouteDelta.OP_ANNOUNCE
@@ -72,6 +83,114 @@ class LogEvent:
 #: Anything the daemon's :meth:`~repro.serve.daemon.ServeDaemon.feed`
 #: accepts: a request or a routing delta.
 ServeEvent = Union[LogEvent, RouteDelta]
+
+
+class LineSplitter:
+    """Reassembles ndjson lines from arbitrary byte chunks, bounded.
+
+    Socket reads hand the serve loop whatever the kernel had — half a
+    line, three lines and a fragment — so the loop needs stateful
+    splitting.  :meth:`push` buffers a chunk; :meth:`next_line` yields
+    one complete line at a time (``None`` when more bytes are needed).
+
+    The buffer is bounded by ``max_line_bytes``: a line that exceeds it
+    raises :class:`~repro.errors.ServeLineTooLongError` *once*, the
+    oversized line's bytes are discarded through its terminating
+    newline (whenever that arrives), and splitting continues with the
+    next line — one counted error per hostile line, never unbounded
+    memory, never a dead connection.
+    """
+
+    def __init__(self, max_line_bytes: int = DEFAULT_MAX_LINE_BYTES) -> None:
+        if max_line_bytes < 1:
+            raise ValueError(
+                f"max_line_bytes must be >= 1: {max_line_bytes!r}"
+            )
+        self.max_line_bytes = max_line_bytes
+        self._buffer = bytearray()
+        self._discarding = False
+
+    @property
+    def pending(self) -> int:
+        """Bytes of an incomplete line still buffered — non-zero at
+        connection teardown means the peer vanished mid-frame."""
+        return len(self._buffer)
+
+    def push(self, chunk: bytes) -> None:
+        """Buffer one received chunk (never raises; the budget check
+        happens in :meth:`next_line`, where the error can be counted)."""
+        self._buffer.extend(chunk)
+
+    def next_line(self) -> Optional[str]:
+        """The next complete line, newline stripped; ``None`` when the
+        buffer holds no complete line yet.
+
+        Raises :class:`ServeLineTooLongError` when the line under
+        assembly exceeds the budget — whether its newline has arrived
+        or not — after discarding the offending bytes.
+        """
+        while True:
+            buffer = self._buffer
+            newline = buffer.find(b"\n")
+            if self._discarding:
+                if newline < 0:
+                    # Still inside the oversized line: drop what we have
+                    # and keep waiting for its terminator.
+                    buffer.clear()
+                    return None
+                del buffer[: newline + 1]
+                self._discarding = False
+                continue
+            if newline < 0:
+                if len(buffer) > self.max_line_bytes:
+                    dropped = len(buffer)
+                    buffer.clear()
+                    self._discarding = True
+                    raise ServeLineTooLongError(
+                        f"event line exceeds {self.max_line_bytes} bytes "
+                        f"({dropped} buffered with no newline in sight) — "
+                        "line discarded"
+                    )
+                return None
+            if newline > self.max_line_bytes:
+                del buffer[: newline + 1]
+                raise ServeLineTooLongError(
+                    f"event line of {newline} bytes exceeds the "
+                    f"{self.max_line_bytes}-byte budget — line discarded"
+                )
+            line = bytes(buffer[:newline])
+            del buffer[: newline + 1]
+            return line.decode("utf-8", errors="replace")
+
+    def flush(self) -> Optional[str]:
+        """The final unterminated line at a *clean* end of stream, or
+        ``None`` — files legitimately end without a trailing newline.
+        Callers seeing an unclean teardown call :meth:`abandon` instead;
+        a partial frame from a vanished peer is an error, not a line."""
+        if self._discarding or not self._buffer:
+            self._buffer.clear()
+            self._discarding = False
+            return None
+        line = bytes(self._buffer).decode("utf-8", errors="replace")
+        self._buffer.clear()
+        return line
+
+    def abandon(self) -> None:
+        """Tear down after an *unclean* end of stream (reset, timeout,
+        injected disconnect).  Always leaves the splitter clean for the
+        next connection; raises :class:`~repro.errors.ServeDisconnectError`
+        if a partial frame was buffered, so the serve loop can count the
+        torn frame under its error budget."""
+        pending = len(self._buffer)
+        discarding = self._discarding
+        self._buffer.clear()
+        self._discarding = False
+        if pending or discarding:
+            raise ServeDisconnectError(
+                f"client vanished mid-frame ({pending} bytes of an "
+                "unterminated event line buffered) — partial frame "
+                "discarded"
+            )
 
 
 def parse_event(line: str) -> Optional[ServeEvent]:

@@ -55,6 +55,9 @@ class TestExport:
             "patches_applied", "patch_rebuild_fallbacks",
             "sanitize_batch_checks", "sanitize_lpm_crosschecks",
             "sanitize_checkpoint_readbacks", "sanitize_rng_draws",
+            "wal_appends", "wal_syncs", "wal_rotations",
+            "wal_segments_truncated", "wal_recovered_events",
+            "wal_truncated_frames", "wal_enospc_recoveries", "shed_events",
             "total_seconds", "mean_batch_seconds", "max_batch_seconds",
             "patch_seconds", "mean_patch_seconds",
             "entries_per_second", "shard_skew", "memo_hit_rate",

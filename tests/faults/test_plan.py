@@ -10,6 +10,9 @@ from repro.faults import (
     SITE_DUMP_MANGLE,
     SITE_LOG_TRUNCATE,
     SITE_SERVE_CRASH,
+    SITE_SERVE_DISCONNECT,
+    SITE_SERVE_WAL_ENOSPC,
+    SITE_SERVE_WAL_TORN,
     SITE_WORKER_CRASH,
     SITE_WORKER_DIE,
     SITE_WORKER_SLOW,
@@ -199,4 +202,5 @@ def test_all_sites_is_complete():
         SITE_WORKER_CRASH, SITE_WORKER_DIE, SITE_WORKER_SLOW,
         SITE_CHECKPOINT_CORRUPT, SITE_CHECKPOINT_TRUNCATE,
         SITE_LOG_TRUNCATE, SITE_DUMP_MANGLE, SITE_SERVE_CRASH,
+        SITE_SERVE_WAL_TORN, SITE_SERVE_WAL_ENOSPC, SITE_SERVE_DISCONNECT,
     }

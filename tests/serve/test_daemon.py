@@ -5,6 +5,7 @@ import pytest
 from repro.bgp.synth import RouteDelta
 from repro.engine.packed import PackedLpm
 from repro.engine.state import CheckpointTableMismatchError
+from repro.errors import OverloadShedWarning
 from repro.net.prefix import Prefix
 from repro.serve.daemon import ServeConfig, ServeDaemon
 from repro.serve.protocol import LogEvent
@@ -235,3 +236,101 @@ class TestResume:
             resumed.feed(event)
         with pytest.raises(CheckpointTableMismatchError):
             resumed.finish()
+
+
+class TestCheckpointCountdown:
+    def test_direct_checkpoint_resets_periodic_countdown(self, tmp_path):
+        """A checkpoint_now() call restarts the --checkpoint-every
+        countdown: the next periodic checkpoint lands a full interval
+        later, not on the stale schedule."""
+        path = str(tmp_path / "count.ckpt")
+        daemon = ServeDaemon(
+            fresh_table(),
+            ServeConfig(
+                batch_size=2, checkpoint_path=path, checkpoint_every=4
+            ),
+        )
+        for event in [log(CLIENT_A), log(CLIENT_B), log(CLIENT_A)]:
+            daemon.feed(event)
+        daemon.checkpoint_now()
+        written = daemon.metrics.checkpoints_written
+        # One more event reaches the old schedule's 4th slot — with the
+        # countdown reset it must NOT checkpoint early...
+        daemon.feed(log(CLIENT_B))
+        assert daemon.metrics.checkpoints_written == written
+        # ...but a full interval after the manual checkpoint, it must.
+        for event in [log(CLIENT_A), log(CLIENT_B), log(CLIENT_A)]:
+            daemon.feed(event)
+        assert daemon.metrics.checkpoints_written == written + 1
+
+
+class TestOverload:
+    def overloaded(self, watermark, **extra):
+        return ServeDaemon(
+            fresh_table(),
+            ServeConfig(batch_size=4, shed_watermark=watermark, **extra),
+        )
+
+    def test_sheds_only_log_events_and_counts_every_drop(self):
+        """The issue's acceptance scenario: feed at batch_size * 100
+        without draining; only log events are shed, never deltas, and
+        shed_events accounts for every drop."""
+        daemon = self.overloaded(watermark=16)
+        total = daemon.config.batch_size * 100
+        deltas = accepted = dropped = 0
+        with pytest.warns(OverloadShedWarning):
+            for index in range(total):
+                if index % 10 == 9:
+                    event = announce(P16, origin_asn=64500 + index)
+                    assert daemon.submit(event), "a delta was shed"
+                    deltas += 1
+                elif daemon.submit(log(CLIENT_A, url=f"/u{index}")):
+                    accepted += 1
+                else:
+                    dropped += 1
+        assert dropped > 0
+        assert daemon.metrics.shed_events == dropped
+        assert accepted + dropped + deltas == total
+        # Everything accepted — including every delta — drains intact.
+        daemon.finish()
+        assert daemon.events_consumed == total - dropped
+        assert daemon.deltas_received == deltas
+        assert daemon.metrics.shed_events == dropped
+
+    def test_hysteresis_reopens_after_drain(self):
+        daemon = self.overloaded(watermark=8)
+        with pytest.warns(OverloadShedWarning):
+            for index in range(9):
+                daemon.submit(log(CLIENT_A))
+        assert daemon.shedding
+        assert not daemon.submit(log(CLIENT_A))
+        pumped = daemon.pump()
+        assert pumped == 8
+        assert daemon.submit(log(CLIENT_B))
+        assert not daemon.shedding
+        assert daemon.metrics.shed_events == 2
+
+    def test_warns_once_per_overload_episode(self):
+        daemon = self.overloaded(watermark=4)
+        with pytest.warns(OverloadShedWarning) as caught:
+            for index in range(8):
+                daemon.submit(log(CLIENT_A))
+        assert len(caught) == 1
+
+    def test_zero_watermark_feeds_directly(self):
+        daemon = self.overloaded(watermark=0)
+        for index in range(50):
+            assert daemon.submit(log(CLIENT_A))
+        assert daemon.ingress_depth == 0
+        assert daemon.metrics.shed_events == 0
+
+    def test_health_reports_ingress_and_shed_state(self):
+        daemon = self.overloaded(watermark=8)
+        for index in range(3):
+            daemon.submit(log(CLIENT_A))
+        health = daemon.health()
+        assert health["ingress"] == 3
+        assert health["shedding"] is False
+        assert health["shed_events"] == 0
+        for key in ("events", "deltas", "clusters", "epoch", "wal_appends"):
+            assert key in health

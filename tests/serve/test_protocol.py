@@ -5,10 +5,15 @@ import json
 import pytest
 
 from repro.bgp.synth import RouteDelta
-from repro.errors import ReproError, ServeProtocolError
+from repro.errors import (
+    ReproError,
+    ServeDisconnectError,
+    ServeLineTooLongError,
+    ServeProtocolError,
+)
 from repro.net.ipv4 import parse_ipv4
 from repro.net.prefix import Prefix
-from repro.serve.protocol import LogEvent, parse_event
+from repro.serve.protocol import LineSplitter, LogEvent, parse_event
 
 
 class TestParseEvent:
@@ -82,3 +87,78 @@ class TestParseEvent:
         """Taxonomy contract: callers may catch either family."""
         assert issubclass(ServeProtocolError, ReproError)
         assert issubclass(ServeProtocolError, ValueError)
+
+
+class TestLineSplitter:
+    def drain(self, splitter):
+        lines = []
+        while True:
+            line = splitter.next_line()
+            if line is None:
+                return lines
+            lines.append(line)
+
+    def test_reassembles_lines_across_arbitrary_chunks(self):
+        splitter = LineSplitter()
+        payload = b"alpha\nbravo\ncharlie\n"
+        collected = []
+        for cut in range(0, len(payload), 3):
+            splitter.push(payload[cut : cut + 3])
+            collected.extend(self.drain(splitter))
+        assert collected == ["alpha", "bravo", "charlie"]
+        assert splitter.pending == 0
+
+    def test_partial_frame_stays_pending(self):
+        splitter = LineSplitter()
+        splitter.push(b'{"type": "log"')
+        assert splitter.next_line() is None
+        assert splitter.pending == 14
+        splitter.push(b"}\n")
+        assert splitter.next_line() == '{"type": "log"}'
+
+    def test_flush_returns_unterminated_tail_at_clean_eof(self):
+        splitter = LineSplitter()
+        splitter.push(b"first\nlast-no-newline")
+        assert splitter.next_line() == "first"
+        assert splitter.flush() == "last-no-newline"
+        assert splitter.flush() is None
+
+    def test_oversized_terminated_line_raises_once_then_continues(self):
+        splitter = LineSplitter(max_line_bytes=8)
+        splitter.push(b"x" * 20 + b"\nok\n")
+        with pytest.raises(ServeLineTooLongError):
+            splitter.next_line()
+        assert splitter.next_line() == "ok"
+
+    def test_oversized_unterminated_line_raises_once_then_discards(self):
+        splitter = LineSplitter(max_line_bytes=8)
+        splitter.push(b"y" * 20)
+        with pytest.raises(ServeLineTooLongError):
+            splitter.next_line()
+        # More of the same monster line: silently discarded, no second
+        # error, bounded memory.
+        splitter.push(b"y" * 50)
+        assert splitter.next_line() is None
+        assert splitter.pending == 0
+        splitter.push(b"y\nafter\n")
+        assert splitter.next_line() == "after"
+
+    def test_abandon_with_partial_frame_raises_disconnect(self):
+        splitter = LineSplitter()
+        splitter.push(b"complete\ntorn-fragme")
+        assert splitter.next_line() == "complete"
+        with pytest.raises(ServeDisconnectError):
+            splitter.abandon()
+        # The splitter is clean for the next connection.
+        splitter.push(b"fresh\n")
+        assert splitter.next_line() == "fresh"
+
+    def test_abandon_with_empty_buffer_is_silent(self):
+        splitter = LineSplitter()
+        splitter.push(b"done\n")
+        assert splitter.next_line() == "done"
+        splitter.abandon()
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            LineSplitter(max_line_bytes=0)
