@@ -31,6 +31,7 @@ from repro.engine import (
     ShardedClusterEngine,
     StrideLpm,
 )
+from repro.engine.shm import ShmWorkerGroup
 from repro.engine.state import ClusterStore, _ClusterState
 
 BATCH_TARGET = 120_000  # ≥100k lookups, per the acceptance bar
@@ -335,4 +336,74 @@ class TestFastpath:
             assert speedup >= 1.5, (
                 f"memoized ingest is only {speedup:.2f}x the PR 1 loop "
                 "(needs >= 1.5x at the default scale)"
+            )
+
+
+class TestShmIngest:
+    """The zero-copy transport vs the per-chunk pickle pool.
+
+    Both contenders run the identical end-to-end ingest (same entries,
+    same shards, same chunking) in the same interleaved measurement, so
+    the ratio isolates the transport: shared-segment attach + counter
+    accumulators vs per-chunk ``ClusterStore`` pickling.  The perf-smoke
+    gate (shm ≥ pickle) binds from scale 0.05 up; below that the run is
+    too short to cover the worker-spawn cost."""
+
+    SHM_GATE_SCALE = 0.05
+
+    def test_shm_dispatch_beats_pickle_pool(self, nagano, packed,
+                                            bench_scale, bench_trajectory):
+        entries = nagano.log.entries
+        chunk = 8192
+        shards = 2
+
+        def transport_run(use_shm):
+            config = EngineConfig(
+                num_shards=shards, chunk_size=chunk, use_shm=use_shm
+            )
+            with ShardedClusterEngine(packed, config) as engine:
+                engine.ingest(entries)
+                return engine.snapshot()
+
+        (
+            (shm_seconds, pickle_seconds),
+            (shm_snapshot, pickle_snapshot),
+        ) = _best_of_interleaved(3, [
+            lambda: transport_run(True),
+            lambda: transport_run(False),
+        ])
+        assert _signature(shm_snapshot) == _signature(pickle_snapshot)
+
+        # Per-group attach cost: publish the segments, spawn the
+        # workers, wait for every attach ack — the fixed price a run
+        # pays once (and again per republish after a table patch).
+        def attach_once():
+            began = time.perf_counter()
+            group = ShmWorkerGroup(packed, num_shards=shards)
+            elapsed = time.perf_counter() - began
+            group.shutdown()
+            return elapsed
+
+        attach_seconds = min(attach_once() for _ in range(3))
+
+        count = len(entries)
+        speedup = pickle_seconds / shm_seconds
+        bench_trajectory["results"]["shm_ingest"] = {
+            "entries": count,
+            "shards": shards,
+            "shm_per_sec": round(count / shm_seconds),
+            "pickle_per_sec": round(count / pickle_seconds),
+            "shm_vs_pickle": round(speedup, 3),
+            "group_attach_seconds": round(attach_seconds, 6),
+        }
+        print(
+            f"\ningest {count:,} entries x {shards} shards: "
+            f"shm {count / shm_seconds:,.0f}/s, "
+            f"pickle pool {count / pickle_seconds:,.0f}/s "
+            f"({speedup:.2f}x), group attach {attach_seconds * 1e3:.1f}ms"
+        )
+        if bench_scale >= self.SHM_GATE_SCALE:
+            assert speedup >= 1.0, (
+                f"shm dispatch is only {speedup:.2f}x the pickle pool "
+                f"(must not lose at scale >= {self.SHM_GATE_SCALE})"
             )

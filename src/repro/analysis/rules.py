@@ -42,6 +42,7 @@ __all__ = [
     "MutableDefaultRule",
     "AssertValidationRule",
     "CheckpointVersionRule",
+    "ShmLifecycleRule",
 ]
 
 #: Packages whose output must be bit-identical run-to-run; RNG and
@@ -55,9 +56,10 @@ PARSER_PACKAGES = ("repro.weblog", "repro.bgp")
 #: The blessed RNG plumbing — exempt from the determinism rules.
 RNG_MODULE = "repro.util.rng"
 
-#: Names allowed inside the worker-job type aliases of
-#: ``repro.engine.shard``: plain data and the two engine types that
-#: define explicit ``__getstate__``/``__setstate__`` pairs.  Anything
+#: Names allowed inside the worker wire-type aliases (see
+#: ``_WORKER_ALIAS_MODULES``): plain data and the engine types that
+#: define explicit ``__getstate__``/``__setstate__`` pairs or are
+#: frozen dataclasses of plain fields (``SharedLpmHandle``).  Anything
 #: else crossing the pool boundary needs review (and a suppression).
 PICKLE_SAFE_NAMES = frozenset(
     {
@@ -74,8 +76,17 @@ PICKLE_SAFE_NAMES = frozenset(
         "None",
         "PackedBatch",
         "ClusterStore",
+        "SharedLpmHandle",
     }
 )
+
+#: Modules that dispatch work to other processes must declare their
+#: wire formats as module-level type aliases built only from
+#: ``PICKLE_SAFE_NAMES``, keeping each boundary auditable in one place.
+_WORKER_ALIAS_MODULES: Dict[str, Tuple[str, ...]] = {
+    "repro.engine.shard": ("_WorkerJob", "_WorkerResult"),
+    "repro.engine.shm": ("_ShmJob", "_ShmAck"),
+}
 
 #: Pool/executor methods whose callable+args cross the pickle boundary.
 _DISPATCH_METHODS = frozenset(
@@ -249,8 +260,9 @@ class PickleBoundaryRule(Rule):
                 yield from self._check_dispatch(module, node, nested_defs)
             elif isinstance(node, ast.ClassDef):
                 yield from self._check_state_pair(module, node)
-        if module.module == "repro.engine.shard":
-            yield from self._check_worker_aliases(module)
+        alias_names = _WORKER_ALIAS_MODULES.get(module.module)
+        if alias_names:
+            yield from self._check_worker_aliases(module, alias_names)
 
     @staticmethod
     def _nested_function_names(module: LintModule) -> Set[str]:
@@ -317,19 +329,18 @@ class PickleBoundaryRule(Rule):
                 "incorrectly without raising",
             )
 
-    def _check_worker_aliases(self, module: LintModule) -> Iterator[Finding]:
-        """The shard module's wire-type aliases must stay auditable."""
+    def _check_worker_aliases(
+        self, module: LintModule, alias_names: Tuple[str, ...]
+    ) -> Iterator[Finding]:
+        """A dispatching module's wire-type aliases must stay auditable."""
         aliases: Dict[str, ast.Assign] = {}
         for node in module.tree.body:
             if not isinstance(node, ast.Assign) or len(node.targets) != 1:
                 continue
             target = node.targets[0]
-            if isinstance(target, ast.Name) and target.id in (
-                "_WorkerJob",
-                "_WorkerResult",
-            ):
+            if isinstance(target, ast.Name) and target.id in alias_names:
                 aliases[target.id] = node
-        for name in ("_WorkerJob", "_WorkerResult"):
+        for name in alias_names:
             node = aliases.get(name)
             if node is None:
                 yield Finding(
@@ -338,7 +349,7 @@ class PickleBoundaryRule(Rule):
                     col=0,
                     rule_id=self.rule_id,
                     message=(
-                        f"repro.engine.shard must declare the {name} type "
+                        f"{module.module} must declare the {name} type "
                         "alias so the worker wire format stays auditable"
                     ),
                 )
@@ -655,6 +666,147 @@ class CheckpointVersionRule(Rule):
                 "version compared against a hard-coded integer; compare "
                 "against the CHECKPOINT_VERSION constant",
             )
+
+
+#: Methods that move their arguments into another process: the pool
+#: dispatchers plus queue/pipe sends.
+_SHM_SINK_METHODS = _DISPATCH_METHODS | frozenset({"put", "put_nowait", "send"})
+
+#: Constructors whose result is (or wraps) a raw buffer mapping.
+_BUFFER_FACTORIES = frozenset({"SharedMemory", "memoryview", "mmap"})
+
+
+@register
+class ShmLifecycleRule(Rule):
+    """Shared-memory segments get unlinked; raw buffers stay in-process."""
+
+    rule_id = "shm-lifecycle"
+    summary = (
+        "a module that creates SharedMemory segments must also unlink "
+        "them; buffer-backed views (.buf, memoryview, mmap, .cast()) "
+        "never cross a queue/pipe/pool boundary"
+    )
+    rationale = (
+        "A shared-memory segment outlives every process that forgets to "
+        "unlink it: /dev/shm fills until reboot.  And a memoryview or "
+        "mmap handed to .put()/.send()/pool dispatch either fails to "
+        "pickle at the boundary or materialises a private copy on the "
+        "far side that silently stops sharing.  Segments travel by name "
+        "(SharedLpmHandle); buffers stay in the process that mapped "
+        "them."
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        yield from self._check_unlink_pairing(module)
+        for scope in self._scopes(module):
+            yield from self._check_boundary(module, scope)
+
+    def _check_unlink_pairing(self, module: LintModule) -> Iterator[Finding]:
+        creations: List[ast.Call] = []
+        has_unlink = False
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "unlink"
+            ):
+                has_unlink = True
+            if _last_segment(node.func) == "SharedMemory" and any(
+                keyword.arg == "create"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in node.keywords
+            ):
+                creations.append(node)
+        if has_unlink:
+            return
+        for creation in creations:
+            yield self.finding(
+                module,
+                creation,
+                "SharedMemory(create=True) with no .unlink() anywhere in "
+                "this module: the segment persists in /dev/shm after every "
+                "process exits; pair each creation with an unlink on the "
+                "owning (creator) side",
+            )
+
+    @staticmethod
+    def _scopes(module: LintModule) -> List[ast.AST]:
+        scopes: List[ast.AST] = [module.tree]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        return scopes
+
+    @staticmethod
+    def _scope_nodes(root: ast.AST) -> Iterator[ast.AST]:
+        """Every node in ``root``'s own scope (nested defs excluded)."""
+        stack = list(ast.iter_child_nodes(root))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                stack.extend(ast.iter_child_nodes(node))
+
+    @classmethod
+    def _buffer_names(cls, scope: ast.AST) -> Set[str]:
+        """Names bound to raw-buffer views within one scope."""
+        names: Set[str] = set()
+        for node in cls._scope_nodes(scope):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if cls._is_buffer_expr(node.value):
+                names.add(target.id)
+        return names
+
+    @staticmethod
+    def _is_buffer_expr(value: ast.AST) -> bool:
+        if isinstance(value, ast.Attribute) and value.attr == "buf":
+            return True
+        if isinstance(value, ast.Call):
+            segment = _last_segment(value.func)
+            if segment in _BUFFER_FACTORIES:
+                return True
+            if isinstance(value.func, ast.Attribute) and value.func.attr == "cast":
+                return True
+        return False
+
+    def _check_boundary(
+        self, module: LintModule, scope: ast.AST
+    ) -> Iterator[Finding]:
+        buffers = self._buffer_names(scope)
+        if not buffers:
+            return
+        for node in self._scope_nodes(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SHM_SINK_METHODS
+            ):
+                continue
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            shipped: List[ast.AST] = []
+            for value in values:
+                shipped.append(value)
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    shipped.extend(value.elts)
+            for value in shipped:
+                if isinstance(value, ast.Name) and value.id in buffers:
+                    yield self.finding(
+                        module,
+                        value,
+                        f"{value.id!r} is a raw buffer view and "
+                        f".{node.func.attr}() ships it across a process "
+                        "boundary; buffers do not survive pickling — send "
+                        "the segment *name* and re-attach on the far side",
+                    )
 
 
 def _mentions_version(node: ast.AST) -> bool:

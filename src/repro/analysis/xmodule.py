@@ -658,8 +658,15 @@ class CliDocDriftRule(ProjectRule):
 #: ``shard._WORKER_TABLE`` is *per-process* state: the pool initializer
 #: binds it once, before any batch runs, and nothing rebinds it after —
 #: the canonical fork-safe pattern this rule exists to protect.
+#: ``shm._LIVE_SEGMENTS`` is likewise per-process: it registers the
+#: segments *this* process created or attached so the atexit guard can
+#: reclaim them; a forked child starts from a copy and only ever
+#: removes its own attachments — nothing merges back, by design.
 FORK_SAFE_GLOBALS: Dict[str, "frozenset[str]"] = {
     "repro.engine.shard": frozenset({"_WORKER_TABLE"}),
+    "repro.engine.shm": frozenset(
+        {"_LIVE_SEGMENTS", "_PUBLISH_CACHE", "_ENTRIES_CACHE"}
+    ),
 }
 
 #: Modules whose state is process-local *by design* and explicitly

@@ -20,8 +20,16 @@ wrong shape for throughput.  This package is the scale-out substrate:
   mergeable cluster accumulator with versioned checkpoint/restore.
 * :mod:`repro.engine.shard` — :class:`ShardedClusterEngine`, which
   hash-partitions client addresses across N shards, fans batches out to
-  a ``multiprocessing`` pool, and merges per-shard states in shard
-  order so results are deterministic.
+  worker processes, and merges per-shard states in shard order so
+  results are deterministic.
+* :mod:`repro.engine.shm` — the zero-copy hot path:
+  :class:`SharedLpm` publishes the packed interval arrays into
+  ``multiprocessing.shared_memory`` segments, persistent workers attach
+  once (:func:`attach_shared_table`) and pull batches from a queue —
+  only segment *names* (:class:`SharedLpmHandle`) cross the pickle
+  boundary.  The default transport whenever ``num_shards > 1``;
+  ``EngineConfig(use_shm=False)`` or ``--no-shm`` restores the
+  per-chunk pickle pool.
 * :mod:`repro.engine.metrics` — :class:`EngineMetrics` counters/timers
   (entries/sec, lookups, batch latency, shard skew, fault accounting).
 * :mod:`repro.engine.supervisor` — :class:`SupervisedEngine`, the
@@ -58,8 +66,10 @@ from repro.engine.state import (
     CheckpointVersionError,
     ClusterStore,
     read_checkpoint,
+    read_checkpoint_table,
     write_checkpoint,
 )
+from repro.engine.shm import SharedLpm, SharedLpmHandle, attach_shared_table
 from repro.engine.supervisor import SupervisedEngine, SupervisorConfig
 
 __all__ = [
@@ -75,7 +85,11 @@ __all__ = [
     "CheckpointVersionError",
     "CheckpointTableMismatchError",
     "read_checkpoint",
+    "read_checkpoint_table",
     "write_checkpoint",
+    "SharedLpm",
+    "SharedLpmHandle",
+    "attach_shared_table",
     "ShardedClusterEngine",
     "EngineConfig",
     "shard_of",

@@ -6,7 +6,10 @@ The full engine surface over real CLF logs and real dump files::
         --shards 4 --chunk-size 16384 --checkpoint run.ckpt
 
 Ingestion streams the log in constant memory, fanning batches out to
-shard workers.  ``--checkpoint`` writes the versioned engine state at
+shard workers.  With ``--shards`` > 1 the workers are persistent
+processes attached to the LPM table through shared memory (the
+zero-copy hot path; ``--no-shm`` forces the legacy per-chunk pickle
+pool, ``--shm`` forces the shared transport explicitly).  ``--checkpoint`` writes the versioned engine state at
 the end of the run (and every ``--checkpoint-every`` entries along the
 way); ``--resume`` restores from that file first.  Checkpoints record
 which log was being ingested and how many of its entries were already
@@ -103,6 +106,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="entries per dispatched batch (default 8192)",
     )
     parser.add_argument(
+        "--shm", dest="use_shm", action="store_true", default=None,
+        help="dispatch batches to persistent workers attached to the LPM "
+             "table through shared memory (zero-copy hot path; default "
+             "whenever --shards > 1)",
+    )
+    parser.add_argument(
+        "--no-shm", dest="use_shm", action="store_false",
+        help="force the legacy per-chunk pickle pool instead of the "
+             "shared-memory transport",
+    )
+    parser.add_argument(
         "--max-errors", type=int, default=None, metavar="N",
         help="abort when more than N malformed lines accumulate "
              "(default: skip-and-count forever)",
@@ -180,6 +194,7 @@ def _build_engine(
         chunk_size=args.chunk_size,
         name=args.log,
         dispatch_timeout=args.dispatch_timeout,
+        use_shm=args.use_shm,
     )
     supervision = SupervisorConfig(
         max_retries=args.retries,

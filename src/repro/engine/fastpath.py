@@ -72,6 +72,7 @@ __all__ = [
     "MemoizedLookup",
     "PackedBatch",
     "build_lpm_table",
+    "build_table_view",
     "LPM_KINDS",
     "DEFAULT_MEMO_SIZE",
 ]
@@ -635,3 +636,42 @@ def build_lpm_table(
     if memo_size:
         table = MemoizedLookup(table, memo_size)
     return table
+
+
+def build_table_view(
+    kind: str,
+    starts: Any,
+    owners: Any,
+    slots: Any,
+    entries: Tuple[Any, Any, Any],
+    epoch: int,
+    deltas_applied: int,
+) -> PackedLpm:
+    """Reconstruct a table *around* existing buffers, copying nothing.
+
+    The buffer parameters may be plain ``array`` objects or
+    ``memoryview`` casts over a ``multiprocessing.shared_memory``
+    segment or an mmap'd checkpoint — anything ``bisect_right`` can
+    search (``starts`` cast ``'Q'``, ``owners``/``slots`` cast ``'q'``).
+    ``entries`` carries the Python-object side as ``(prefixes, values,
+    runs)``; ``runs`` (and ``slots``) are only consulted for
+    ``kind="stride"``.  A view built over borrowed buffers reports
+    :attr:`PackedLpm.is_view` and refuses ``apply_delta`` — patch the
+    owning table and republish instead.
+    """
+    prefixes, values, runs = entries
+    packed_state: _PackedState = (
+        starts, owners, tuple(prefixes), tuple(values),
+        epoch, deltas_applied,
+    )
+    if kind == "packed":
+        packed = PackedLpm.__new__(PackedLpm)
+        packed.__setstate__(packed_state)
+        return packed
+    if kind == "stride":
+        stride = StrideLpm.__new__(StrideLpm)
+        stride.__setstate__((packed_state, slots, list(runs)))
+        return stride
+    raise ValueError(
+        f"unknown LPM table kind {kind!r} (choose from {LPM_KINDS})"
+    )

@@ -52,6 +52,7 @@ class EngineMetrics:
         self.wal_truncated_frames = 0
         self.wal_enospc_recoveries = 0
         self.shed_events = 0
+        self.shm_unlink_failures = 0
         self.degraded = False
         self.total_seconds = 0.0
         self.max_batch_seconds = 0.0
@@ -174,6 +175,13 @@ class EngineMetrics:
         shedding (routing deltas are never shed)."""
         self.shed_events += count
 
+    def record_shm_unlink_failures(self, count: int = 1) -> None:
+        """``count`` shared-memory segments either failed to close or
+        unlink on a teardown path, or were found leaked by a previous
+        run and reclaimed at publish time.  Nonzero values mean cleanup
+        needed the backstop — worth a look, not an error."""
+        self.shm_unlink_failures += count
+
     def record_degraded(self) -> None:
         """The run fell back to inline (single-process) ingestion."""
         self.degraded = True
@@ -251,6 +259,7 @@ class EngineMetrics:
             "wal_truncated_frames": self.wal_truncated_frames,
             "wal_enospc_recoveries": self.wal_enospc_recoveries,
             "shed_events": self.shed_events,
+            "shm_unlink_failures": self.shm_unlink_failures,
             "degraded": int(self.degraded),
             "num_shards": self.num_shards,
             "total_seconds": self.total_seconds,
@@ -299,6 +308,7 @@ class EngineMetrics:
             "wal_truncated_frames",
             "wal_enospc_recoveries",
             "shed_events",
+            "shm_unlink_failures",
             "degraded",
             "num_shards",
         ):

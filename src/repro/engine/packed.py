@@ -219,6 +219,14 @@ class PackedLpm:
         this table's lifetime (noop withdrawals excluded)."""
         return self._deltas_applied
 
+    @property
+    def is_view(self) -> bool:
+        """True when the interval buffers are borrowed — ``memoryview``
+        casts over a shared-memory segment or an mmap'd checkpoint —
+        rather than arrays this table owns.  Views serve lookups at full
+        speed but refuse in-place patching."""
+        return not isinstance(self._starts, array)
+
     def items(self) -> Iterable[Tuple[Prefix, Any]]:
         """Iterate ``(prefix, value)`` entries in address order."""
         return zip(self._prefixes, self._values)
@@ -307,6 +315,13 @@ class PackedLpm:
         affected address windows that downstream caches need for
         selective invalidation.
         """
+        if self.is_view:
+            raise TypeError(
+                "cannot patch a buffer-backed LPM view in place: the "
+                "interval arrays are borrowed (shared memory or an "
+                "mmap'd checkpoint) — patch the owning table and "
+                "republish its segments instead"
+            )
         prefixes = self._prefixes
         old_count = len(prefixes)
 

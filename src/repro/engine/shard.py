@@ -16,6 +16,18 @@ With ``num_shards=1`` (or ``use_processes=False``) everything runs
 inline in the calling process — same code path, no pool — which is the
 mode tests use for speed and the CLI uses by default.
 
+Parallel dispatch has two transports.  The default is the zero-copy
+shared-memory hot path (:mod:`repro.engine.shm`): the table is
+published once into shared segments, persistent workers attach by name
+and pull :class:`~repro.engine.fastpath.PackedBatch` jobs from queues,
+and per-chunk results come back as shared-array counter increments —
+worker delta states cross back only on periodic syncs
+(``config.shm_sync_interval`` chunks) and before any snapshot or
+checkpoint.  ``use_shm=False`` selects the legacy pickle transport (a
+``multiprocessing.Pool`` whose workers receive the table at start and
+return partial states per chunk), kept as the portability fallback and
+the benchmark baseline.
+
 Failure containment: a dispatched chunk is merged only after *every*
 shard's partial returned, so any worker failure — exception, hard
 death, hang past ``dispatch_timeout`` — leaves the engine's state
@@ -42,9 +54,11 @@ from repro.core.clustering import ClusterSet
 from repro.engine.fastpath import PackedBatch
 from repro.engine.metrics import EngineMetrics
 from repro.engine.packed import PackedLpm
+from repro.engine.shm import ShmWorkerGroup
 from repro.engine.state import ClusterStore, read_checkpoint, write_checkpoint
 from repro.errors import InjectedFault, WorkerCrashError
 from repro.faults import (
+    SHM_WORKER_SITES,
     SITE_WORKER_SLOW,
     FaultInjector,
     execute_worker_directive,
@@ -77,6 +91,15 @@ class EngineConfig:
     :class:`~repro.errors.WorkerCrashError` instead.  ``None`` waits
     forever, which is only safe without fault injection and with
     trustworthy workers.
+
+    ``use_shm`` selects the parallel transport: ``None`` (auto, the
+    default) uses shared memory whenever dispatch is parallel at all,
+    ``False`` forces the legacy pickle pool, ``True`` documents intent
+    (it cannot make a single-shard or inline run parallel).
+    ``shm_sync_interval`` is how many dispatched chunks may ride on
+    worker-local delta state before the driver pulls it back; smaller
+    values shrink the replay window after a worker crash, larger ones
+    amortise the sync pickling better.
     """
 
     num_shards: int = 1
@@ -84,6 +107,8 @@ class EngineConfig:
     use_processes: bool = True
     name: str = "engine"
     dispatch_timeout: Optional[float] = None
+    use_shm: Optional[bool] = None
+    shm_sync_interval: int = 32
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -93,6 +118,10 @@ class EngineConfig:
         if self.dispatch_timeout is not None and self.dispatch_timeout <= 0:
             raise ValueError(
                 f"dispatch_timeout must be positive: {self.dispatch_timeout!r}"
+            )
+        if self.shm_sync_interval < 1:
+            raise ValueError(
+                f"shm_sync_interval must be >= 1: {self.shm_sync_interval!r}"
             )
 
 
@@ -189,6 +218,13 @@ class ShardedClusterEngine:
             ClusterStore() for _ in range(self.config.num_shards)
         ]
         self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._shm_group: Optional[ShmWorkerGroup] = None
+        #: Chunks dispatched over shm and acked but not yet pulled back
+        #: in a sync: the replay buffer.  If the worker group dies, the
+        #: driver re-applies these inline — per-shard order preserved,
+        #: so the merged result is identical — before surfacing the
+        #: failure.
+        self._shm_pending: List[List[PackedBatch]] = []
         #: Checkpoint metadata this engine was restored from ({} when the
         #: engine started fresh); see :meth:`resume`.
         self.resume_meta: Dict[str, Any] = {}
@@ -205,12 +241,22 @@ class ShardedClusterEngine:
         self.close(terminate=exc_info and exc_info[0] is not None)
 
     def close(self, terminate: bool = False) -> None:
-        """Shut the worker pool down (idempotent).
+        """Shut workers down (idempotent) — shm group and legacy pool.
 
         ``terminate`` kills workers instead of draining them — the only
         safe shutdown after a dispatch failure, when workers may be
-        wedged mid-task.
+        wedged mid-task.  Either way no acked chunk is lost: a graceful
+        close syncs worker delta states back first, a terminating close
+        replays the un-synced chunks inline from the driver's buffer.
         """
+        if self._shm_group is not None:
+            if terminate:
+                self.release_shm()
+            else:
+                self._sync_shm()
+                group, self._shm_group = self._shm_group, None
+                if group is not None:
+                    group.shutdown()
         if self._pool is not None:
             if terminate:
                 self._pool.terminate()
@@ -230,6 +276,12 @@ class ShardedClusterEngine:
     @property
     def _parallel(self) -> bool:
         return self.config.num_shards > 1 and self.config.use_processes
+
+    @property
+    def _use_shm(self) -> bool:
+        """Shared-memory transport active?  Auto-on for any parallel
+        dispatch unless the config opted out (``use_shm=False``)."""
+        return self._parallel and self.config.use_shm is not False
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
@@ -282,7 +334,10 @@ class ShardedClusterEngine:
         num_shards = self.config.num_shards
         directive = None
         if self.injector is not None:
-            directive = self.injector.worker_directive(num_shards)
+            directive = self.injector.worker_directive(
+                num_shards,
+                sites=SHM_WORKER_SITES if self._use_shm else None,
+            )
         began = time.perf_counter()
         if num_shards == 1 or not self._parallel:
             if directive is not None:
@@ -302,23 +357,156 @@ class ShardedClusterEngine:
             # URL table (PackedBatch), not a pickled tuple list.
             packed_batches = PackedBatch.partition(triples, num_shards)
             counts = [len(batch) for batch in packed_batches]
-            jobs: List[_WorkerJob] = [
-                (
-                    batch,
-                    directive
-                    if directive is not None and directive[0] == shard
-                    else None,
-                )
-                for shard, batch in enumerate(packed_batches)
-            ]
-            results = self._dispatch_to_pool(jobs)
-            for shard, (partial, memo_stats, sanitize_stats) in enumerate(results):
-                self._stores[shard].merge(partial)
-                self.metrics.record_memo(*memo_stats)
-                self.metrics.record_sanitize(*sanitize_stats)
+            if self._use_shm:
+                self._dispatch_shm(packed_batches, directive)
+            else:
+                jobs: List[_WorkerJob] = [
+                    (
+                        batch,
+                        directive
+                        if directive is not None and directive[0] == shard
+                        else None,
+                    )
+                    for shard, batch in enumerate(packed_batches)
+                ]
+                results = self._dispatch_to_pool(jobs)
+                for shard, (partial, memo_stats, sanitize_stats) in enumerate(
+                    results
+                ):
+                    self._stores[shard].merge(partial)
+                    self.metrics.record_memo(*memo_stats)
+                    self.metrics.record_sanitize(*sanitize_stats)
         elapsed = time.perf_counter() - began
         self.metrics.record_batch(counts, elapsed, lookups=len(triples))
         return len(triples)
+
+    # -- shared-memory transport -----------------------------------------
+
+    def _ensure_shm_group(self) -> ShmWorkerGroup:
+        """The live worker group, republished if the table moved on.
+
+        Staleness (an ``apply_delta`` bumped the table's epoch since
+        publication) is checked before *every* dispatch: the old
+        generation's delta state syncs back, its segments unlink, and a
+        fresh generation publishes the patched table — workers can never
+        resolve a batch against superseded buffers.
+        """
+        group = self._shm_group
+        if group is not None and group.is_stale(self.table):
+            self._sync_shm()
+            group, self._shm_group = self._shm_group, None
+            if group is not None:
+                group.shutdown()
+            group = None
+        if group is None:
+            group = ShmWorkerGroup(
+                self.table,
+                self.config.num_shards,
+                dispatch_timeout=self.config.dispatch_timeout,
+                metrics=self.metrics,
+            )
+            self._shm_group = group
+        return group
+
+    def _dispatch_shm(
+        self,
+        batches: List[PackedBatch],
+        directive: Optional[Tuple[int, str, float]],
+    ) -> None:
+        """One chunk over the persistent shm workers, all-or-nothing.
+
+        On success the chunk is acked by every worker and buffered for
+        replay until the next sync pulls the delta states back.  On any
+        failure the group is torn down, the buffered chunks re-apply
+        inline (so no acked work is lost), and the dispatch raises
+        :class:`WorkerCrashError` with nothing merged — the same atomic
+        contract as the pool path.
+        """
+        try:
+            group = self._ensure_shm_group()
+            stats = group.dispatch(batches, directive)
+        except WorkerCrashError:
+            self._recover_shm()
+            raise
+        except _WORKER_FAILURE_ERRORS as exc:
+            self._recover_shm()
+            raise WorkerCrashError(
+                f"shm dispatch failed ({exc!r}) — worker group torn down, "
+                "chunk not applied"
+            ) from exc
+        except BaseException:
+            # Unknown failures (including KeyboardInterrupt) still tear
+            # the group down — workers may be wedged and segments must
+            # not leak — but surface unwrapped.
+            self._recover_shm()
+            raise
+        self._shm_pending.append(batches)
+        self.metrics.record_memo(*stats["memo"])
+        self.metrics.record_sanitize(*stats["sanitize"])
+        if len(self._shm_pending) >= self.config.shm_sync_interval:
+            self._sync_shm()
+
+    def _sync_shm(self) -> None:
+        """Pull worker delta states into the authoritative stores.
+
+        After a successful sync the replay buffer is empty — everything
+        acked so far is owned by the driver again.  A *failed* sync
+        recovers the same way a failed dispatch does: tear down, replay
+        the buffer inline; state stays exactly-once either way, so no
+        error escapes.
+        """
+        group = self._shm_group
+        if group is None:
+            return
+        try:
+            stores, stats = group.sync()
+        except (WorkerCrashError,) + _WORKER_FAILURE_ERRORS:
+            self._recover_shm()
+            return
+        except BaseException:
+            self._recover_shm()
+            raise
+        for shard, delta in enumerate(stores):
+            if delta is not None:
+                self._stores[shard].merge(delta)
+        self._shm_pending.clear()
+        self.metrics.record_memo(*stats["memo"])
+        self.metrics.record_sanitize(*stats["sanitize"])
+
+    def _recover_shm(self, count_restart: bool = True) -> None:
+        """Tear the worker group down and replay its un-synced chunks.
+
+        Worker-local delta stores die with the group (they may hold a
+        partial application of the failing chunk), so every *acked*
+        chunk since the last sync re-applies inline from the driver's
+        buffer — per-shard order preserved, cluster merges commutative,
+        result identical.  The memo/sanitize counters the replay
+        generates driver-side are drained and discarded: the workers
+        already reported those chunks' counters through the shared
+        accumulator.
+        """
+        group, self._shm_group = self._shm_group, None
+        if group is not None:
+            group.shutdown(kill=True)
+            if count_restart:
+                self.metrics.record_worker_restart()
+        if self._shm_pending:
+            pending, self._shm_pending = self._shm_pending, []
+            for batches in pending:
+                for shard, batch in enumerate(batches):
+                    self._stores[shard].apply_packed(batch, self.table)
+            take = getattr(self.table, "take_memo_stats", None)
+            if take is not None:
+                take()
+            if _sanitize.is_enabled():
+                _sanitize.take_stats()
+
+    def release_shm(self) -> None:
+        """Shut the shm worker group down hard, keeping every acked
+        chunk (replayed inline from the buffer) and unlinking every
+        segment.  Idempotent; the quarantine/degrade paths call this so
+        a failed run can never leak shared memory."""
+        self._recover_shm(count_restart=False)
 
     def _drain_inline_memo_stats(self) -> None:
         """Move this process's memo counters into the metrics (inline
@@ -406,6 +594,7 @@ class ShardedClusterEngine:
 
     def snapshot(self, name: Optional[str] = None) -> ClusterSet:
         """Merge all shards into one :class:`ClusterSet` (non-destructive)."""
+        self._sync_shm()
         combined = ClusterStore()
         for store in self._stores:
             combined.merge(store.copy())
@@ -416,6 +605,7 @@ class ShardedClusterEngine:
 
     @property
     def entries_ingested(self) -> int:
+        self._sync_shm()
         return sum(store.entries_applied for store in self._stores)
 
     # -- persistence -----------------------------------------------------
@@ -430,6 +620,7 @@ class ShardedClusterEngine:
         and how far through it the run had got, so a resumed run can
         skip the already-counted prefix.
         """
+        self._sync_shm()
         meta = {
             "num_shards": self.config.num_shards,
             "chunk_size": self.config.chunk_size,
@@ -445,6 +636,7 @@ class ShardedClusterEngine:
             meta=meta,
             routing_epoch=int(getattr(self.table, "epoch", 0)),
             deltas_applied=int(getattr(self.table, "deltas_applied", 0)),
+            table=self.table,
         )
         self.metrics.record_checkpoint()
         if _sanitize.is_enabled():

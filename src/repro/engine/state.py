@@ -40,6 +40,8 @@ condition).
 
 from __future__ import annotations
 
+import io
+import mmap
 import os
 import pickle
 import tempfile
@@ -80,6 +82,7 @@ __all__ = [
     "CheckpointTableMismatchError",
     "write_checkpoint",
     "read_checkpoint",
+    "read_checkpoint_table",
     "serialize_checkpoint",
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
@@ -89,9 +92,17 @@ __all__ = [
 #: pickled payload layout changes so stale checkpoints fail loudly.
 #: Version 2 wraps the payload in a CRC32-checked envelope; version 3
 #: adds the routing generation (``routing_epoch`` / ``deltas_applied``)
-#: so ``repro-engine serve --resume`` can restart mid-stream.
+#: so ``repro-engine serve --resume`` can restart mid-stream; version 4
+#: adds an optional raw table section after the envelope — the packed
+#: interval buffers written via ``memoryview`` and read back with
+#: ``mmap`` (:func:`read_checkpoint_table`) instead of unpickling a
+#: fresh copy.
 CHECKPOINT_MAGIC = "repro.engine.checkpoint"
-CHECKPOINT_VERSION = 3
+CHECKPOINT_VERSION = 4
+
+#: Raw table sections start at the first 8-byte boundary after the
+#: envelope pickle, so an mmap'd ``array('Q')`` view is aligned.
+_TABLE_SECTION_ALIGN = 8
 
 #: Everything ``pickle.loads`` (and the payload-shape accessors that
 #: follow it) can raise on corrupt, truncated, or foreign bytes.  Kept
@@ -435,6 +446,93 @@ class ClusterStore:
         return stores[0]
 
 
+def _table_sections(table: Any) -> Tuple[Optional[Dict[str, Any]], List[Any]]:
+    """Describe ``table``'s raw buffers for the v4 trailing section.
+
+    Returns ``(info, sections)``: a plain-types description dict (kind,
+    digest, generation, per-section byte counts, and a CRC32 over the
+    concatenated sections) plus the raw buffers themselves, in on-disk
+    order — interval starts, owners, stride slots (empty for packed
+    tables), then a once-pickled blob of the Python-object entry
+    columns.  ``(None, [])`` when ``table`` is None or not a packed
+    table — the checkpoint then carries no table section at all.
+    """
+    base = getattr(table, "table", table) if table is not None else None
+    if not isinstance(base, PackedLpm):
+        return None, []
+    state = base.__getstate__()
+    if isinstance(state[0], tuple):
+        # StrideLpm state nests the packed layout under the overlay.
+        (packed_state, slots, runs) = state
+        kind = "stride"
+    else:
+        packed_state, slots, runs = state, None, None
+        kind = "packed"
+    starts, owners, prefixes, values, epoch, deltas_applied = packed_state
+    starts_raw = memoryview(starts).cast("B")
+    owners_raw = memoryview(owners).cast("B")
+    slots_raw = memoryview(slots).cast("B") if slots is not None else memoryview(b"")
+    entries_raw = pickle.dumps(
+        (tuple(prefixes), tuple(values), runs),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    crc = zlib.crc32(starts_raw)
+    crc = zlib.crc32(owners_raw, crc)
+    crc = zlib.crc32(slots_raw, crc)
+    crc = zlib.crc32(entries_raw, crc)
+    info = {
+        "kind": kind,
+        "digest": base.digest(),
+        "epoch": int(epoch),
+        "deltas_applied": int(deltas_applied),
+        "crc32": crc,
+        "starts_bytes": starts_raw.nbytes,
+        "owners_bytes": owners_raw.nbytes,
+        "slots_bytes": slots_raw.nbytes,
+        "entries_bytes": len(entries_raw),
+    }
+    return info, [starts_raw, owners_raw, slots_raw, entries_raw]
+
+
+def _checkpoint_blobs(
+    stores: Sequence[ClusterStore],
+    table_digest: str,
+    meta: Optional[Dict[str, Any]],
+    routing_epoch: int,
+    deltas_applied: int,
+    table: Any,
+) -> List[Any]:
+    """All buffers of one checkpoint file, in write order.
+
+    The first element is always the pickled envelope; with a table, an
+    alignment pad and the raw table sections follow.  This is the one
+    place the envelope dict is built.
+    """
+    payload = pickle.dumps(
+        {
+            "table_digest": table_digest,
+            "meta": dict(meta or {}),
+            "routing_epoch": routing_epoch,
+            "deltas_applied": deltas_applied,
+            "shards": [store._payload() for store in stores],
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    table_info, sections = _table_sections(table)
+    envelope = {
+        "magic": CHECKPOINT_MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "crc32": zlib.crc32(payload),
+        "payload": payload,
+        "table": table_info,
+    }
+    head = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+    if table_info is None:
+        return [head]
+    pad = b"\x00" * ((-len(head)) % _TABLE_SECTION_ALIGN)
+    return [head, pad] + sections
+
+
 def serialize_checkpoint(
     stores: Sequence[ClusterStore],
     table_digest: str = "",
@@ -447,38 +545,29 @@ def serialize_checkpoint(
     The envelope is a pickled dict of plain types — magic, version, a
     CRC32, and the payload as an opaque ``bytes`` field — so a reader
     can validate identity, version, and integrity *before* unpickling
-    any engine state.
+    any engine state.  (The optional v4 raw table section is only
+    produced by :func:`write_checkpoint` with a ``table``; this
+    envelope-only form records ``table: None``.)
 
     ``routing_epoch`` and ``deltas_applied`` record the live table's
     patch generation (see :attr:`PackedLpm.epoch`) so a resumed serve
     run can verify it replayed the same delta stream.
     """
-    payload = pickle.dumps(
-        {
-            "table_digest": table_digest,
-            "meta": dict(meta or {}),
-            "routing_epoch": routing_epoch,
-            "deltas_applied": deltas_applied,
-            "shards": [store._payload() for store in stores],
-        },
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
-    envelope = {
-        "magic": CHECKPOINT_MAGIC,
-        "version": CHECKPOINT_VERSION,
-        "crc32": zlib.crc32(payload),
-        "payload": payload,
-    }
-    return pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+    return _checkpoint_blobs(
+        stores, table_digest, meta, routing_epoch, deltas_applied, None
+    )[0]
 
 
-def _write_atomic(path: str, blob: bytes) -> None:
-    """Write ``blob`` to ``path`` so readers see old-or-new, never torn.
+def _write_atomic(path: str, blobs: Sequence[Any]) -> None:
+    """Write ``blobs`` to ``path`` so readers see old-or-new, never torn.
 
     temp file in the same directory → flush → fsync → ``os.replace``.
     A crash before the replace leaves the previous file untouched (the
     orphaned ``.tmp`` is removed on the next successful write's error
     path or by the operator); a crash after is a completed write.
+    Each blob is handed to ``write`` as-is, so raw ``memoryview``
+    sections go straight from the table's buffers to the page cache —
+    no intermediate ``bytes`` copy.
     """
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp_path = tempfile.mkstemp(
@@ -486,7 +575,8 @@ def _write_atomic(path: str, blob: bytes) -> None:
     )
     try:
         with os.fdopen(fd, "wb") as handle:
-            handle.write(blob)
+            for blob in blobs:
+                handle.write(blob)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
@@ -514,12 +604,19 @@ def write_checkpoint(
     meta: Optional[Dict[str, Any]] = None,
     routing_epoch: int = 0,
     deltas_applied: int = 0,
+    table: Any = None,
 ) -> None:
     """Atomically write shard ``stores`` to ``path``.
 
     ``table_digest`` (see :meth:`PackedLpm.digest`) records which prefix
     set the accumulated lookups were resolved against; a restore that
     supplies a digest refuses to resume against a different table.
+
+    With ``table`` (a packed table, optionally memo-wrapped) the file
+    additionally carries the v4 raw table section: the interval buffers
+    written straight from their ``memoryview``s, so
+    :func:`read_checkpoint_table` can rebuild a zero-copy view over an
+    ``mmap`` of the file instead of unpickling a fresh table.
 
     Under ``REPRO_SANITIZE=1`` every write is immediately re-read and
     re-verified through :func:`read_checkpoint` — the same CRC, version
@@ -528,8 +625,8 @@ def write_checkpoint(
     """
     _write_atomic(
         path,
-        serialize_checkpoint(
-            stores, table_digest, meta, routing_epoch, deltas_applied
+        _checkpoint_blobs(
+            stores, table_digest, meta, routing_epoch, deltas_applied, table
         ),
     )
     if _sanitize.is_enabled():
@@ -562,7 +659,11 @@ def read_checkpoint(
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
     try:
-        envelope = pickle.loads(raw)
+        # A stream, not ``loads``: v4 files append raw table sections
+        # after the envelope pickle, and ``tell`` finds where they start.
+        stream = io.BytesIO(raw)
+        envelope = pickle.load(stream)
+        head_len = stream.tell()
     except _UNPICKLE_ERRORS as exc:
         raise CheckpointCorruptError(
             f"checkpoint {path!r} is corrupt or truncated "
@@ -589,6 +690,9 @@ def read_checkpoint(
             "(truncated write or bit rot) — restore from an older "
             "checkpoint or rerun without --resume"
         )
+    table_info = envelope.get("table")
+    if table_info is not None:
+        _verify_table_section(path, raw, head_len, table_info)
     try:
         document = pickle.loads(payload)
         stores = [
@@ -613,3 +717,129 @@ def read_checkpoint(
             f"(stored digest {stored_digest[:12]}…, current {table_digest[:12]}…)"
         )
     return stores, meta
+
+
+def _table_section_extent(
+    head_len: int, info: Dict[str, Any]
+) -> Tuple[int, int]:
+    """(section start offset, expected file length) for a v4 table."""
+    start = head_len + ((-head_len) % _TABLE_SECTION_ALIGN)
+    total = (
+        int(info.get("starts_bytes", 0))
+        + int(info.get("owners_bytes", 0))
+        + int(info.get("slots_bytes", 0))
+        + int(info.get("entries_bytes", 0))
+    )
+    return start, start + total
+
+
+def _verify_table_section(
+    path: str, raw: bytes, head_len: int, info: Dict[str, Any]
+) -> None:
+    """Integrity-check a v4 raw table section (length and CRC32)."""
+    start, expected_len = _table_section_extent(head_len, info)
+    if len(raw) != expected_len:
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} is corrupt: table section is "
+            f"{len(raw) - start} bytes where {expected_len - start} were "
+            "recorded (truncated write) — restore from an older checkpoint"
+        )
+    if zlib.crc32(memoryview(raw)[start:]) != info.get("crc32"):
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} is corrupt: table section CRC32 "
+            "mismatch (truncated write or bit rot) — restore from an "
+            "older checkpoint or rerun without --resume"
+        )
+
+
+def read_checkpoint_table(path: str) -> Optional[PackedLpm]:
+    """Rebuild the checkpoint's table as a zero-copy view over ``mmap``.
+
+    Returns ``None`` for checkpoints written without a table section.
+    The returned table's interval buffers are ``memoryview`` casts over
+    a read-only mapping of the file — nothing is copied and nothing is
+    unpickled except the (small) Python-object entry columns — so
+    opening a multi-hundred-MB checkpoint costs page faults, not a
+    deserialisation pass.  The mapping lives exactly as long as the
+    returned table: its views hold the only references.
+
+    The view is lookup-complete but refuses in-place patching
+    (:attr:`PackedLpm.is_view`); compile a fresh table to continue a
+    delta stream.  Integrity (section length + CRC32) is verified
+    before any buffer is trusted.
+    """
+    from repro.engine.fastpath import build_table_view
+
+    try:
+        handle = open(path, "rb")
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    with handle:
+        try:
+            envelope = pickle.load(handle)
+            head_len = handle.tell()
+        except _UNPICKLE_ERRORS as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint {path!r} is corrupt or truncated "
+                f"(envelope does not decode: {exc})"
+            ) from exc
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("magic") != CHECKPOINT_MAGIC
+        ):
+            raise CheckpointCorruptError(
+                f"{path!r} is not a repro.engine checkpoint"
+            )
+        version = envelope.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointVersionError(
+                f"checkpoint version {version!r} unsupported "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        info = envelope.get("table")
+        if info is None:
+            return None
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"cannot map checkpoint {path!r}: {exc}"
+            ) from exc
+    view = memoryview(mapped)
+    start, expected_len = _table_section_extent(head_len, info)
+    if len(view) != expected_len:
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} is corrupt: table section is "
+            f"{len(view) - start} bytes where {expected_len - start} were "
+            "recorded (truncated write) — restore from an older checkpoint"
+        )
+    if zlib.crc32(view[start:]) != info.get("crc32"):
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} is corrupt: table section CRC32 "
+            "mismatch (truncated write or bit rot) — restore from an "
+            "older checkpoint or rerun without --resume"
+        )
+    starts_end = start + int(info.get("starts_bytes", 0))
+    owners_end = starts_end + int(info.get("owners_bytes", 0))
+    slots_end = owners_end + int(info.get("slots_bytes", 0))
+    entries_end = slots_end + int(info.get("entries_bytes", 0))
+    kind = str(info.get("kind", "packed"))
+    try:
+        entries = pickle.loads(view[slots_end:entries_end])
+    except _UNPICKLE_ERRORS as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} table entries do not decode despite a "
+            f"valid CRC ({exc}) — the file was not written by this code"
+        ) from exc
+    starts = view[start:starts_end].cast("Q")
+    owners = view[starts_end:owners_end].cast("q")
+    slots = view[owners_end:slots_end].cast("q") if kind == "stride" else None
+    return build_table_view(
+        kind,
+        starts,
+        owners,
+        slots,
+        entries,
+        int(info.get("epoch", 0)),
+        int(info.get("deltas_applied", 0)),
+    )

@@ -246,6 +246,11 @@ class SupervisedEngine:
 
     def _quarantine(self, chunk: Sequence[Triple], cause: Exception) -> None:
         """Send ``chunk`` to the dead-letter file with full accounting."""
+        # A chunk that exhausted its retries means the shm worker group (if
+        # one is live) has crashed repeatedly over this exact input: tear it
+        # down and unlink its segments now rather than carrying suspect
+        # workers into the next chunk.  The next dispatch re-publishes.
+        self.engine.release_shm()
         self.metrics.record_quarantine(len(chunk))
         if self.config.quarantine_path is None:
             return

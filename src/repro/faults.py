@@ -19,6 +19,11 @@ site                       effect
                            batch never completes; only a dispatch timeout
                            can recover
 ``worker.slow``            a shard worker sleeps ``arg`` seconds first
+``shm.worker_crash``       a persistent shared-memory worker applies its
+                           batch into the local delta store and then
+                           hard-exits before acking — the driver must
+                           discard worker deltas, replay, and retry over
+                           an intact shared table
 ``checkpoint.corrupt``     one byte of a just-written checkpoint is flipped
 ``checkpoint.truncate``    a just-written checkpoint is cut to ``arg``
                            fraction of its length
@@ -65,6 +70,7 @@ __all__ = [
     "SITE_WORKER_CRASH",
     "SITE_WORKER_DIE",
     "SITE_WORKER_SLOW",
+    "SITE_SHM_WORKER_CRASH",
     "SITE_CHECKPOINT_CORRUPT",
     "SITE_CHECKPOINT_TRUNCATE",
     "SITE_LOG_TRUNCATE",
@@ -74,6 +80,8 @@ __all__ = [
     "SITE_SERVE_WAL_ENOSPC",
     "SITE_SERVE_DISCONNECT",
     "ALL_SITES",
+    "WORKER_SITES",
+    "SHM_WORKER_SITES",
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
@@ -83,6 +91,7 @@ __all__ = [
 SITE_WORKER_CRASH = "worker.crash"
 SITE_WORKER_DIE = "worker.die"
 SITE_WORKER_SLOW = "worker.slow"
+SITE_SHM_WORKER_CRASH = "shm.worker_crash"
 SITE_CHECKPOINT_CORRUPT = "checkpoint.corrupt"
 SITE_CHECKPOINT_TRUNCATE = "checkpoint.truncate"
 SITE_LOG_TRUNCATE = "log.truncate"
@@ -104,11 +113,19 @@ ALL_SITES = (
     SITE_SERVE_WAL_TORN,
     SITE_SERVE_WAL_ENOSPC,
     SITE_SERVE_DISCONNECT,
+    SITE_SHM_WORKER_CRASH,
 )
 
 #: Sites whose faults are executed inside a worker process (the driver
 #: arms them; :func:`execute_worker_directive` runs them).
 WORKER_SITES = (SITE_WORKER_CRASH, SITE_WORKER_DIE, SITE_WORKER_SLOW)
+
+#: The worker sites visited by the persistent shared-memory dispatch
+#: path: everything the pool path injects, plus the post-apply hard
+#: death unique to shm recovery.  Appended after :data:`WORKER_SITES`
+#: so per-site visit ordering (and plan determinism) is unchanged for
+#: existing chaos plans.
+SHM_WORKER_SITES = WORKER_SITES + (SITE_SHM_WORKER_CRASH,)
 
 
 @dataclass(frozen=True)
@@ -232,14 +249,16 @@ class FaultInjector:
     # -- driver-side helpers ---------------------------------------------
 
     def worker_directive(
-        self, num_shards: int
+        self, num_shards: int, sites: Optional[Tuple[str, ...]] = None
     ) -> Optional[Tuple[int, str, float]]:
         """Arm at most one worker fault for the next dispatch.
 
-        Visits every worker site once per dispatch; returns
-        ``(shard, site, arg)`` for the first armed fault, or ``None``.
+        Visits every worker site once per dispatch (``sites`` defaults
+        to :data:`WORKER_SITES`; the shm dispatch path passes
+        :data:`SHM_WORKER_SITES`); returns ``(shard, site, arg)`` for
+        the first armed fault, or ``None``.
         """
-        for site in WORKER_SITES:
+        for site in (sites if sites is not None else WORKER_SITES):
             spec = self.fire(site)
             if spec is not None:
                 shard = spec.shard
@@ -325,4 +344,10 @@ def execute_worker_directive(directive: Tuple[int, str, float]) -> None:
         raise InjectedFault(site, "injected worker crash")
     if site == SITE_WORKER_DIE:
         os._exit(17)
+    if site == SITE_SHM_WORKER_CRASH:
+        # The shm worker calls this *after* applying the batch into its
+        # local delta store and before acking: the strongest test of
+        # exactly-once recovery — the driver must throw the doomed
+        # deltas away, replay its acked chunks, and retry this one.
+        os._exit(19)
     raise ValueError(f"unknown worker directive site: {site!r}")

@@ -496,6 +496,168 @@ def test_checkpoint_version_quiet_on_constant_discipline():
     assert findings == []
 
 
+# -- shm-lifecycle ---------------------------------------------------------
+
+
+def test_shm_lifecycle_fires_on_create_without_unlink():
+    findings = run(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def publish(size):
+            segment = SharedMemory(name="seg", create=True, size=size)
+            return segment.name
+        """,
+        rule_id="shm-lifecycle",
+    )
+    assert ids(findings) == ["shm-lifecycle"]
+    assert "unlink" in findings[0].message
+
+
+def test_shm_lifecycle_quiet_when_module_unlinks():
+    findings = run(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def publish(size):
+            return SharedMemory(name="seg", create=True, size=size)
+
+        def release(segment):
+            segment.close()
+            segment.unlink()
+        """,
+        rule_id="shm-lifecycle",
+    )
+    assert findings == []
+
+
+def test_shm_lifecycle_quiet_on_plain_attach():
+    findings = run(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def attach(name):
+            return SharedMemory(name=name)
+        """,
+        rule_id="shm-lifecycle",
+    )
+    assert findings == []
+
+
+def test_shm_lifecycle_fires_on_buf_across_queue():
+    findings = run(
+        """
+        def ship(segment, queue):
+            buf = segment.buf
+            queue.put(buf)
+        """,
+        rule_id="shm-lifecycle",
+    )
+    assert ids(findings) == ["shm-lifecycle"]
+    assert "process boundary" in findings[0].message
+
+
+def test_shm_lifecycle_fires_on_view_inside_shipped_tuple():
+    findings = run(
+        """
+        def ship(segment, queue, seq):
+            counters = segment.buf.cast("q")
+            queue.put(("batch", seq, counters))
+        """,
+        rule_id="shm-lifecycle",
+    )
+    assert ids(findings) == ["shm-lifecycle"]
+
+
+def test_shm_lifecycle_fires_on_memoryview_to_pool():
+    findings = run(
+        """
+        def dispatch(pool, table, worker):
+            view = memoryview(table)
+            return pool.submit(worker, view)
+        """,
+        rule_id="shm-lifecycle",
+    )
+    assert ids(findings) == ["shm-lifecycle"]
+
+
+def test_shm_lifecycle_quiet_on_names_and_handles():
+    findings = run(
+        """
+        def dispatch(queue, handle, batch):
+            queue.put(("batch", handle, batch))
+
+        def report(conn, status, seq):
+            conn.send((status, seq, None, None))
+        """,
+        rule_id="shm-lifecycle",
+    )
+    assert findings == []
+
+
+def test_shm_lifecycle_tracking_is_scoped_per_function():
+    # ``view`` is a buffer only inside ``local``; the unrelated ``view``
+    # parameter of ``other`` must not inherit the taint.
+    findings = run(
+        """
+        def local(segment):
+            view = segment.buf
+            return view.nbytes
+
+        def other(queue, view):
+            queue.put(view)
+        """,
+        rule_id="shm-lifecycle",
+    )
+    assert findings == []
+
+
+# -- pickle-boundary: shm wire aliases -------------------------------------
+
+
+def test_pickle_boundary_requires_shm_aliases():
+    findings = run(
+        """
+        def dispatch(queue, job):
+            queue.put(job)
+        """,
+        module="repro.engine.shm",
+        rule_id="pickle-boundary",
+    )
+    assert ids(findings) == ["pickle-boundary", "pickle-boundary"]
+    assert any("_ShmJob" in f.message for f in findings)
+    assert any("_ShmAck" in f.message for f in findings)
+
+
+def test_pickle_boundary_flags_unsafe_name_in_shm_alias():
+    findings = run(
+        """
+        from typing import Optional, Tuple
+
+        _ShmJob = Tuple[str, int, Optional[SharedMemory]]
+        _ShmAck = Tuple[str, int]
+        """,
+        module="repro.engine.shm",
+        rule_id="pickle-boundary",
+    )
+    assert ids(findings) == ["pickle-boundary"]
+    assert "SharedMemory" in findings[0].message
+
+
+def test_pickle_boundary_quiet_on_safe_shm_aliases():
+    findings = run(
+        """
+        from typing import Optional, Tuple
+
+        _ShmJob = Tuple[str, int, Optional[SharedLpmHandle], Optional[PackedBatch]]
+        _ShmAck = Tuple[str, int, Optional[str], Optional[ClusterStore]]
+        """,
+        module="repro.engine.shm",
+        rule_id="pickle-boundary",
+    )
+    assert findings == []
+
+
 # -- registry --------------------------------------------------------------
 
 

@@ -58,6 +58,7 @@ class TestExport:
             "wal_appends", "wal_syncs", "wal_rotations",
             "wal_segments_truncated", "wal_recovered_events",
             "wal_truncated_frames", "wal_enospc_recoveries", "shed_events",
+            "shm_unlink_failures",
             "total_seconds", "mean_batch_seconds", "max_batch_seconds",
             "patch_seconds", "mean_patch_seconds",
             "entries_per_second", "shard_skew", "memo_hit_rate",

@@ -13,6 +13,7 @@ from repro.faults import (
     SITE_SERVE_DISCONNECT,
     SITE_SERVE_WAL_ENOSPC,
     SITE_SERVE_WAL_TORN,
+    SITE_SHM_WORKER_CRASH,
     SITE_WORKER_CRASH,
     SITE_WORKER_DIE,
     SITE_WORKER_SLOW,
@@ -203,4 +204,5 @@ def test_all_sites_is_complete():
         SITE_CHECKPOINT_CORRUPT, SITE_CHECKPOINT_TRUNCATE,
         SITE_LOG_TRUNCATE, SITE_DUMP_MANGLE, SITE_SERVE_CRASH,
         SITE_SERVE_WAL_TORN, SITE_SERVE_WAL_ENOSPC, SITE_SERVE_DISCONNECT,
+        SITE_SHM_WORKER_CRASH,
     }
