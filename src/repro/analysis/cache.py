@@ -1,0 +1,162 @@
+"""Content-hash result caching for the expensive lint passes.
+
+``repro-lint --project`` re-reads and re-analyzes the whole tree on
+every run, and ``--flow`` builds a CFG per function — cheap enough
+interactively, wasteful in CI and pre-commit where most runs touch a
+handful of files.  :class:`LintCache` memoizes findings in a JSON file
+(``.repro-lint-cache.json`` by default) keyed by content hashes:
+
+* ``--flow`` results are cached **per module**: the key is the module's
+  own source hash plus a fingerprint of the collected spec set and the
+  active rule ids.  Editing one file re-analyzes that file only —
+  unless the edit changes a ``FLOW_SPECS`` declaration, which shifts
+  the fingerprint and correctly invalidates every module the spec
+  governs.
+* ``--project`` results are cached as **one combined entry** (the
+  cross-module rules see the whole tree, so any source or doc change
+  invalidates the lot).
+
+Entries whose keys were not touched during a run are pruned on save, so
+the file tracks the current tree rather than accreting history.  The
+cache is an optimisation only: a missing, unreadable, or corrupt file
+means a cold run, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.core import Finding
+
+__all__ = ["DEFAULT_CACHE_PATH", "LintCache", "source_hash"]
+
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+#: Bumped whenever finding serialization or key derivation changes.
+_SCHEMA_VERSION = 1
+
+
+def source_hash(text: Union[str, bytes]) -> str:
+    if isinstance(text, str):
+        text = text.encode("utf-8")
+    return hashlib.sha256(text).hexdigest()
+
+
+def _finding_to_entry(finding: Finding) -> Dict[str, object]:
+    return finding.to_json()
+
+
+def _finding_from_entry(entry: Dict[str, object]) -> Finding:
+    return Finding(
+        path=str(entry["path"]),
+        line=int(entry["line"]),  # type: ignore[arg-type]
+        col=int(entry["col"]),  # type: ignore[arg-type]
+        rule_id=str(entry["rule"]),
+        message=str(entry["message"]),
+    )
+
+
+class LintCache:
+    """Findings memoized by content-hash keys in one JSON file."""
+
+    def __init__(self, path: Union[str, Path] = DEFAULT_CACHE_PATH) -> None:
+        self.path = Path(path)
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, List[Dict[str, object]]] = {}
+        self._touched: set = set()
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("schema") != _SCHEMA_VERSION:
+            return
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            self._entries = {
+                key: value
+                for key, value in entries.items()
+                if isinstance(key, str) and isinstance(value, list)
+            }
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[List[Finding]]:
+        """Cached findings for ``key``, or None on a miss."""
+        self._touched.add(key)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            findings = [_finding_from_entry(item) for item in entry]  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(self, key: str, findings: Sequence[Finding]) -> None:
+        self._touched.add(key)
+        self._entries[key] = [_finding_to_entry(f) for f in findings]
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self) -> None:
+        """Write touched entries atomically; prune the untouched rest."""
+        payload = {
+            "schema": _SCHEMA_VERSION,
+            "entries": {
+                key: value
+                for key, value in self._entries.items()
+                if key in self._touched
+            },
+        }
+        text = json.dumps(payload, indent=1, sort_keys=True)
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.path.parent or Path(".")), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(tmp_name, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # An unwritable cache (read-only checkout, odd CI sandbox)
+            # costs a cold run next time, nothing more.
+            pass
+
+    # -- key derivation --------------------------------------------------
+
+    @staticmethod
+    def flow_key(module_hash: str, fingerprint: str) -> str:
+        return f"flow:{module_hash}:{fingerprint}"
+
+    @staticmethod
+    def project_key(
+        source_hashes: Sequence[str], doc_hashes: Sequence[str], rule_ids: Sequence[str]
+    ) -> str:
+        digest = hashlib.sha256()
+        for item in sorted(source_hashes):
+            digest.update(item.encode("utf-8"))
+        digest.update(b"|docs|")
+        for item in sorted(doc_hashes):
+            digest.update(item.encode("utf-8"))
+        digest.update(b"|rules|")
+        for item in sorted(rule_ids):
+            digest.update(item.encode("utf-8"))
+        return f"project:{digest.hexdigest()}"

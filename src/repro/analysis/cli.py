@@ -8,8 +8,14 @@ stable machine-readable array for CI; the default human format is one
 ``--project`` additionally runs the cross-module rules of
 :mod:`repro.analysis.xmodule` over the whole tree (metrics drift,
 CLI/doc drift, fork safety, error-taxonomy reachability, checkpoint
-schema drift).  ``--baseline`` suppresses previously recorded findings
-so a new rule can land without blocking on legacy debt.
+schema drift).  ``--flow`` additionally runs the path-sensitive rules
+of :mod:`repro.analysis.flow` (resource leaks on exception edges, WAL
+append-before-mutate ordering, staleness-guard domination, swallowed
+count-and-skip tallies).  ``--baseline`` suppresses previously recorded
+findings so a new rule can land without blocking on legacy debt.
+``--cache [FILE]`` memoizes the expensive ``--project``/``--flow``
+results by content hash (default file: ``.repro-lint-cache.json``) so
+CI and pre-commit skip re-analyzing unchanged modules.
 """
 
 from __future__ import annotations
@@ -20,7 +26,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.core import RULES, Finding, active_rules, lint_paths
+from repro.analysis.core import (
+    RULES,
+    Finding,
+    active_rules,
+    apply_suppressions,
+    lint_paths,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -34,7 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description="repo-specific static analysis (determinism, pickle "
         "boundary, error taxonomy, parser discipline; --project adds the "
-        "cross-module drift and fork-safety rules)",
+        "cross-module drift and fork-safety rules; --flow adds the "
+        "path-sensitive lifecycle rules)",
     )
     parser.add_argument(
         "paths",
@@ -66,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the whole-program (cross-module) rules over the tree",
     )
     parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the path-sensitive (CFG/typestate) rules: resource "
+        "leaks on exception edges, WAL ordering, staleness guards, "
+        "swallowed truncation tallies",
+    )
+    parser.add_argument(
         "--doc",
         action="append",
         metavar="FILE",
@@ -77,6 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="suppress findings recorded in FILE (a previous --format=json "
         "report); lets new rules land without blocking on legacy findings",
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=".repro-lint-cache.json",
+        metavar="FILE",
+        help="memoize --project/--flow results by content hash in FILE "
+        "(default: .repro-lint-cache.json); unchanged modules are not "
+        "re-analyzed",
     )
     parser.add_argument(
         "--list-rules",
@@ -96,6 +125,7 @@ def _split_ids(values: Optional[Sequence[str]]) -> Optional[List[str]]:
 
 
 def _list_rules() -> str:
+    from repro.analysis.flow import FLOW_RULES
     from repro.analysis.xmodule import PROJECT_RULES
 
     active_rules()  # force catalogue import
@@ -107,6 +137,10 @@ def _list_rules() -> str:
     lines.append("cross-module rules (--project):")
     for rule_id, project_rule in sorted(PROJECT_RULES.items()):
         lines.append(f"{rule_id}\n    {project_rule.summary}")
+    lines.append("")
+    lines.append("path-sensitive rules (--flow):")
+    for rule_id, flow_rule in sorted(FLOW_RULES.items()):
+        lines.append(f"{rule_id}\n    {flow_rule.summary}")
     return "\n".join(lines)
 
 
@@ -145,6 +179,107 @@ def _load_baseline(path: str) -> Set[Tuple[str, str, str]]:
     return entries
 
 
+def _run_project(
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+    selected: Optional[List[str]],
+    ignored: Optional[List[str]],
+    cache: Optional["LintCache"],
+) -> List[Finding]:
+    from repro.analysis.cache import LintCache, source_hash
+    from repro.analysis.xmodule import (
+        PROJECT_RULES,
+        Project,
+        active_project_rules,
+        analyze_project,
+    )
+
+    project_rules = active_project_rules(
+        select=None
+        if selected is None
+        else [rule for rule in selected if rule in PROJECT_RULES],
+        ignore=[rule for rule in ignored or () if rule in PROJECT_RULES],
+    )
+    doc_paths: Sequence[Path] = (
+        [Path(doc) for doc in args.doc]
+        if args.doc
+        else _default_docs(args.paths)
+    )
+    for doc in doc_paths:
+        if not doc.is_file():
+            parser.error(f"no such doc file: {doc}")
+
+    key: Optional[str] = None
+    if cache is not None:
+        from repro.analysis.core import _iter_python_files
+
+        try:
+            source_hashes = [
+                source_hash(path.read_bytes())
+                for path in _iter_python_files(args.paths)
+            ]
+            doc_hashes = [source_hash(doc.read_bytes()) for doc in doc_paths]
+        except OSError:
+            source_hashes = None  # type: ignore[assignment]
+        if source_hashes is not None:
+            key = LintCache.project_key(
+                source_hashes,
+                doc_hashes,
+                [rule.rule_id for rule in project_rules],
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+
+    project = Project.load(args.paths, docs=doc_paths)
+    findings = analyze_project(project, project_rules)
+    if cache is not None and key is not None:
+        cache.put(key, findings)
+    return findings
+
+
+def _run_flow(
+    args: argparse.Namespace,
+    selected: Optional[List[str]],
+    ignored: Optional[List[str]],
+    cache: Optional["LintCache"],
+) -> List[Finding]:
+    from repro.analysis.cache import LintCache, source_hash
+    from repro.analysis.flow import (
+        FLOW_RULES,
+        active_flow_rules,
+        collect_specs,
+        flow_findings_for_module,
+        load_flow_modules,
+        spec_fingerprint,
+    )
+
+    flow_rules = active_flow_rules(
+        select=None
+        if selected is None
+        else [rule for rule in selected if rule in FLOW_RULES],
+        ignore=[rule for rule in ignored or () if rule in FLOW_RULES],
+    )
+    rule_ids = sorted(rule.rule_id for rule in flow_rules)
+    modules, findings = load_flow_modules(args.paths)
+    specs, spec_findings = collect_specs(modules)
+    findings.extend(f for f in spec_findings if f.rule_id in set(rule_ids))
+    fingerprint = spec_fingerprint(specs, rule_ids)
+    for module in modules:
+        key: Optional[str] = None
+        if cache is not None:
+            key = LintCache.flow_key(source_hash(module.source), fingerprint)
+            cached = cache.get(key)
+            if cached is not None:
+                findings.extend(cached)
+                continue
+        module_findings = flow_findings_for_module(module, specs, flow_rules)
+        if cache is not None and key is not None:
+            cache.put(key, module_findings)
+        findings.extend(module_findings)
+    return apply_suppressions(findings, modules)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -160,49 +295,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     selected = _split_ids(args.select)
     ignored = _split_ids(args.ignore)
 
+    active_rules()  # force catalogue import before validating ids
+    known = set(RULES)
     if args.project:
-        from repro.analysis.xmodule import (
-            PROJECT_RULES,
-            Project,
-            active_project_rules,
-            analyze_project,
-        )
+        from repro.analysis.xmodule import PROJECT_RULES
 
-        active_rules()  # force catalogue import before validating ids
-        known = set(RULES) | set(PROJECT_RULES)
-        unknown = (set(selected or ()) | set(ignored or ())) - known
-        if unknown:
-            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
-        module_rules = active_rules(
-            select=None
-            if selected is None
-            else [rule for rule in selected if rule in RULES],
-            ignore=[rule for rule in ignored or () if rule in RULES],
-        )
-        project_rules = active_project_rules(
-            select=None
-            if selected is None
-            else [rule for rule in selected if rule in PROJECT_RULES],
-            ignore=[rule for rule in ignored or () if rule in PROJECT_RULES],
-        )
-        doc_paths: Sequence[Path] = (
-            [Path(doc) for doc in args.doc]
-            if args.doc
-            else _default_docs(args.paths)
-        )
-        for doc in doc_paths:
-            if not doc.is_file():
-                parser.error(f"no such doc file: {doc}")
-        findings = lint_paths(args.paths, module_rules)
-        project = Project.load(args.paths, docs=doc_paths)
-        findings.extend(analyze_project(project, project_rules))
-        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-    else:
-        try:
-            rules = active_rules(select=selected, ignore=ignored)
-        except KeyError as exc:
-            parser.error(str(exc.args[0]) if exc.args else str(exc))
-        findings = lint_paths(args.paths, rules)
+        known |= set(PROJECT_RULES)
+    if args.flow:
+        from repro.analysis.flow import FLOW_RULES
+
+        known |= set(FLOW_RULES)
+    unknown = (set(selected or ()) | set(ignored or ())) - known
+    if unknown:
+        parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+
+    cache = None
+    if args.cache:
+        from repro.analysis.cache import LintCache
+
+        cache = LintCache(args.cache)
+
+    module_rules = active_rules(
+        select=None
+        if selected is None
+        else [rule for rule in selected if rule in RULES],
+        ignore=[rule for rule in ignored or () if rule in RULES],
+    )
+    findings = lint_paths(args.paths, module_rules)
+    if args.project:
+        findings.extend(_run_project(args, parser, selected, ignored, cache))
+    if args.flow:
+        findings.extend(_run_flow(args, selected, ignored, cache))
+    if cache is not None:
+        cache.save()
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
 
     if args.baseline:
         try:

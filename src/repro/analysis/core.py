@@ -54,6 +54,7 @@ __all__ = [
     "RULES",
     "register",
     "active_rules",
+    "apply_suppressions",
     "lint_module",
     "lint_source",
     "lint_paths",
@@ -269,6 +270,37 @@ def _ensure_rules_loaded() -> None:
     # The rule catalogue registers on import; import lazily so that
     # ``core`` stays import-cycle-free for the rules module itself.
     from repro.analysis import rules  # noqa: F401  (import registers)
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], modules: Iterable[LintModule]
+) -> List[Finding]:
+    """Filter ``findings`` through per-line ``# lint: ignore`` comments.
+
+    The one suppression channel every pass shares: per-file AST rules,
+    the ``--project`` cross-module rules, and the ``--flow``
+    path-sensitive rules all honour the same comment on the line a
+    finding is anchored to.  Findings anchored outside the analyzed
+    modules (prose docs) pass through — they have no comment to carry a
+    suppression.  Deduplicates and sorts, so callers can feed raw rule
+    output straight in.
+    """
+    by_path = {module.path: module for module in modules}
+    kept: List[Finding] = []
+    seen: set = set()
+    for finding in findings:
+        module = by_path.get(finding.path)
+        if module is not None:
+            suppression = module.suppressions.get(finding.line)
+            if suppression is not None and suppression.covers(finding.rule_id):
+                continue
+        key = (finding.path, finding.line, finding.rule_id, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return kept
 
 
 def lint_module(

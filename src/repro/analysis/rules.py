@@ -682,54 +682,23 @@ class ShmLifecycleRule(Rule):
 
     rule_id = "shm-lifecycle"
     summary = (
-        "a module that creates SharedMemory segments must also unlink "
-        "them; buffer-backed views (.buf, memoryview, mmap, .cast()) "
-        "never cross a queue/pipe/pool boundary"
+        "buffer-backed views (.buf, memoryview, mmap, .cast()) never "
+        "cross a queue/pipe/pool boundary"
     )
     rationale = (
-        "A shared-memory segment outlives every process that forgets to "
-        "unlink it: /dev/shm fills until reboot.  And a memoryview or "
-        "mmap handed to .put()/.send()/pool dispatch either fails to "
-        "pickle at the boundary or materialises a private copy on the "
-        "far side that silently stops sharing.  Segments travel by name "
-        "(SharedLpmHandle); buffers stay in the process that mapped "
-        "them."
+        "A memoryview or mmap handed to .put()/.send()/pool dispatch "
+        "either fails to pickle at the boundary or materialises a "
+        "private copy on the far side that silently stops sharing.  "
+        "Segments travel by name (SharedLpmHandle); buffers stay in the "
+        "process that mapped them.  (The unlink-pairing half of this "
+        "rule moved to the path-sensitive `resource-leak` rule under "
+        "--flow, which sees the exception edges a per-module "
+        "create/unlink census cannot.)"
     )
 
     def check(self, module: LintModule) -> Iterator[Finding]:
-        yield from self._check_unlink_pairing(module)
         for scope in self._scopes(module):
             yield from self._check_boundary(module, scope)
-
-    def _check_unlink_pairing(self, module: LintModule) -> Iterator[Finding]:
-        creations: List[ast.Call] = []
-        has_unlink = False
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            if (
-                isinstance(node.func, ast.Attribute)
-                and node.func.attr == "unlink"
-            ):
-                has_unlink = True
-            if _last_segment(node.func) == "SharedMemory" and any(
-                keyword.arg == "create"
-                and isinstance(keyword.value, ast.Constant)
-                and keyword.value.value is True
-                for keyword in node.keywords
-            ):
-                creations.append(node)
-        if has_unlink:
-            return
-        for creation in creations:
-            yield self.finding(
-                module,
-                creation,
-                "SharedMemory(create=True) with no .unlink() anywhere in "
-                "this module: the segment persists in /dev/shm after every "
-                "process exits; pair each creation with an unlink on the "
-                "owning (creator) side",
-            )
 
     @staticmethod
     def _scopes(module: LintModule) -> List[ast.AST]:

@@ -57,6 +57,7 @@ from repro.analysis.core import (
     Finding,
     LintModule,
     _iter_python_files,
+    apply_suppressions,
 )
 from repro.analysis.rules import _DISPATCH_METHODS, _dotted_name, _last_segment
 
@@ -347,25 +348,10 @@ def analyze_project(
     """
     if rules is None:
         rules = active_project_rules()
-    by_path = {module.path: module for module in project.modules.values()}
     findings: List[Finding] = []
-    seen: Set[Tuple[str, int, str, str]] = set()
     for rule in rules:
-        for finding in rule.check(project):
-            module = by_path.get(finding.path)
-            if module is not None:
-                suppression = module.suppressions.get(finding.line)
-                if suppression is not None and suppression.covers(
-                    finding.rule_id
-                ):
-                    continue
-            key = (finding.path, finding.line, finding.rule_id, finding.message)
-            if key in seen:
-                continue
-            seen.add(key)
-            findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-    return findings
+        findings.extend(rule.check(project))
+    return apply_suppressions(findings, project.modules.values())
 
 
 # -- shared AST helpers -----------------------------------------------------

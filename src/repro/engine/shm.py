@@ -74,6 +74,28 @@ __all__ = [
     "attach_shared_table",
 ]
 
+#: Lifecycle specs for ``repro-lint --flow`` (literal dicts, read by the
+#: analyzer via ``ast.literal_eval`` — never imported).  Segments minted
+#: through :func:`_create_segment` must reach :func:`_release_segment`
+#: on every path, and shared-table dispatch anywhere in the engine must
+#: be dominated by a staleness check since the last republish point.
+FLOW_SPECS = (
+    {
+        "rule": "resource-leak",
+        "resource": "shm segment",
+        "acquire": ("_create_segment",),
+        "release_funcs": ("_release_segment",),
+        "tuple_result": True,
+    },
+    {
+        "rule": "stale-epoch-read",
+        "reads": ("dispatch",),
+        "guards": ("is_stale", "_ensure_shm_group"),
+        "invalidators": ("apply_delta",),
+        "modules": ("repro.engine",),
+    },
+)
+
 #: Per-shard slots in the shared accumulator array, in order.  Workers
 #: add to their own shard's slice only (single writer per slot), the
 #: driver reads monotonic totals and folds deltas into the metrics.
@@ -372,25 +394,25 @@ class SharedLpm:
                 offset += size
             self._entries.buf[: len(entries_blob)] = entries_blob
             _ENTRIES_CACHE[self._entries.name] = entries
+            self.handle = SharedLpmHandle(
+                kind=kind,
+                generation=generation,
+                data_name=self._data.name,
+                entries_name=self._entries.name,
+                acc_name=acc_name,
+                digest=digest,
+                epoch=epoch,
+                deltas_applied=deltas_applied,
+                starts_bytes=starts_bytes,
+                owners_bytes=owners_bytes,
+                slots_bytes=slots_bytes,
+                entries_bytes=len(entries_blob),
+                memo_size=memo_size,
+                num_shards=num_shards,
+            )
         except BaseException:
             self.close(unlink=True)
             raise
-        self.handle = SharedLpmHandle(
-            kind=kind,
-            generation=generation,
-            data_name=self._data.name,
-            entries_name=self._entries.name,
-            acc_name=acc_name,
-            digest=digest,
-            epoch=epoch,
-            deltas_applied=deltas_applied,
-            starts_bytes=starts_bytes,
-            owners_bytes=owners_bytes,
-            slots_bytes=slots_bytes,
-            entries_bytes=len(entries_blob),
-            memo_size=memo_size,
-            num_shards=num_shards,
-        )
 
     def close(self, unlink: bool = True) -> int:
         """Release both segments; returns the unlink-failure count."""
@@ -680,12 +702,15 @@ class ShmWorkerGroup:
                     self._published.handle, None, None,
                 ))
             self._await_acks(self._seq, "attached")
-        except BaseException:
-            self.shutdown(kill=True)
-            raise
-        finally:
             if leaked and metrics is not None:
                 metrics.record_shm_unlink_failures(leaked)
+        except BaseException:
+            # Tear down before recording: a raising metrics sink must not
+            # leave live workers and an unlinked accumulator behind.
+            self.shutdown(kill=True)
+            if leaked and metrics is not None:
+                metrics.record_shm_unlink_failures(leaked)
+            raise
 
     @property
     def handle(self) -> Optional[SharedLpmHandle]:

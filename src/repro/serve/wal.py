@@ -82,6 +82,20 @@ __all__ = [
 WAL_MAGIC = b"REPROWAL"
 WAL_VERSION = 1
 
+#: Lifecycle spec for ``repro-lint --flow``: every segment file opened
+#: by the writer must reach ``close`` on all paths — a descriptor leaked
+#: on an exception edge pins a partially-written segment that recovery
+#: will later read as torn.
+FLOW_SPECS = (
+    {
+        "rule": "resource-leak",
+        "resource": "WAL segment file",
+        "acquire": ("open",),
+        "release_methods": ("close",),
+        "modules": ("repro.serve.wal",),
+    },
+)
+
 FRAME_EVENT = 0x45  # 'E'
 FRAME_SEAL = 0x53  # 'S'
 
@@ -475,9 +489,16 @@ class _SegmentHandle:
         self.sequence = sequence
         self.start_index = start_index
         self._file = open(path, "wb")
-        header = _SEGMENT_HEADER.pack(WAL_MAGIC, WAL_VERSION, start_index)
-        self._file.write(header)
-        self.size = len(header)
+        try:
+            header = _SEGMENT_HEADER.pack(WAL_MAGIC, WAL_VERSION, start_index)
+            self._file.write(header)
+            self.size = len(header)
+        except BaseException:
+            # A failed header write (ENOSPC, signal) must not leak the
+            # descriptor: nobody holds a reference to a half-constructed
+            # handle, so nothing else can ever close it.
+            self._file.close()
+            raise
 
     def write(self, blob: bytes) -> None:
         self._file.write(blob)

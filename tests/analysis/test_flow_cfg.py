@@ -1,0 +1,426 @@
+"""CFG builder unit tests: the edges the typestate rules live on.
+
+Each test parses a small function, builds its CFG, and asserts the
+*shape* — exception edges with mid-block origins, ``with`` unwinding on
+both the normal and exceptional exits, loop back edges, ``finally``
+duplication for the return continuation — plus the worklist engine's
+reaching-definitions client.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import List
+
+from repro.analysis.flow import (
+    CFG,
+    WithExit,
+    build_cfg,
+    entry_line,
+    reach_without,
+    reaching_definitions,
+)
+
+
+def cfg_of(source: str) -> CFG:
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def edge_kinds(cfg: CFG) -> List[str]:
+    return [edge.kind for edge in cfg.edges]
+
+
+def blocks_with_exit_names(cfg: CFG, name: str) -> List[int]:
+    found = []
+    for block in cfg.blocks:
+        for entry in block.entries:
+            if isinstance(entry, WithExit) and name in entry.names:
+                found.append(block.index)
+    return found
+
+
+# -- exception edges --------------------------------------------------------
+
+
+def test_raising_call_gets_except_edge_to_raise_exit():
+    cfg = cfg_of(
+        """
+        def f(x):
+            y = g(x)
+            return y
+        """
+    )
+    excepts = [e for e in cfg.edges if e.kind == "except"]
+    assert [e.dst for e in excepts] == [cfg.raise_exit]
+    # the edge originates at the call's index inside its block
+    assert excepts[0].origin is not None
+
+
+def test_plain_assignment_has_no_except_edge():
+    cfg = cfg_of(
+        """
+        def f(x):
+            y = x
+            return y
+        """
+    )
+    # only the Return's implicit path; a bare name copy cannot raise
+    assert all(e.kind != "except" for e in cfg.edges if e.origin is not None)
+
+
+def test_mid_block_origins_are_ordered():
+    cfg = cfg_of(
+        """
+        def f(x):
+            a = g(x)
+            b = h(a)
+            c = i(b)
+            return c
+        """
+    )
+    origins = sorted(
+        e.origin for e in cfg.edges if e.kind == "except" and e.origin is not None
+    )
+    assert origins == [0, 1, 2]
+
+
+def test_try_routes_except_edges_to_handler_dispatch():
+    cfg = cfg_of(
+        """
+        def f(x):
+            try:
+                y = g(x)
+            except ValueError:
+                y = 0
+            return y
+        """
+    )
+    dispatch = cfg.blocks_labeled("except-dispatch")
+    assert len(dispatch) == 1
+    handler = cfg.blocks_labeled("except-ValueError")
+    assert len(handler) == 1
+    # body raise -> dispatch -> handler, and dispatch also escapes to
+    # raise_exit because ValueError is not exhaustive
+    dispatch_succs = {e.dst for e in cfg.succs(dispatch[0].index)}
+    assert handler[0].index in dispatch_succs
+    assert cfg.raise_exit in dispatch_succs
+
+
+def test_bare_except_seals_propagation():
+    cfg = cfg_of(
+        """
+        def f(x):
+            try:
+                y = g(x)
+            except:
+                y = 0
+            return y
+        """
+    )
+    dispatch = cfg.blocks_labeled("except-dispatch")[0]
+    assert cfg.raise_exit not in {e.dst for e in cfg.succs(dispatch.index)}
+
+
+def test_except_exception_does_not_seal_propagation():
+    cfg = cfg_of(
+        """
+        def f(x):
+            try:
+                y = g(x)
+            except Exception:
+                y = 0
+            return y
+        """
+    )
+    dispatch = cfg.blocks_labeled("except-dispatch")[0]
+    assert cfg.raise_exit in {e.dst for e in cfg.succs(dispatch.index)}
+
+
+def test_handler_body_raise_escapes_to_raise_exit():
+    cfg = cfg_of(
+        """
+        def f(x):
+            try:
+                y = g(x)
+            except ValueError:
+                cleanup(x)
+            return y
+        """
+    )
+    handler = cfg.blocks_labeled("except-ValueError")[0]
+    excepts = [e for e in cfg.succs(handler.index) if e.kind == "except"]
+    assert [e.dst for e in excepts] == [cfg.raise_exit]
+
+
+# -- with unwinding ---------------------------------------------------------
+
+
+def test_with_releases_on_both_exits():
+    cfg = cfg_of(
+        """
+        def f(path):
+            with open(path) as fh:
+                process(fh)
+            return 1
+        """
+    )
+    release_blocks = blocks_with_exit_names(cfg, "fh")
+    # one WithExit on the normal exit, one on the unwind path
+    assert len(release_blocks) == 2
+    labels = {cfg.blocks[i].label for i in release_blocks}
+    assert labels == {"with-exit", "with-unwind"}
+    unwind = next(i for i in release_blocks if cfg.blocks[i].label == "with-unwind")
+    assert {e.dst for e in cfg.succs(unwind)} == {cfg.raise_exit}
+
+
+def test_with_bare_name_context_releases_that_name():
+    cfg = cfg_of(
+        """
+        def f(handle):
+            with handle:
+                process(handle)
+            return 1
+        """
+    )
+    assert len(blocks_with_exit_names(cfg, "handle")) == 2
+
+
+def test_return_inside_with_unwinds_first():
+    cfg = cfg_of(
+        """
+        def f(path):
+            with open(path) as fh:
+                return read(fh)
+        """
+    )
+    # the return jump routes through a WithExit copy before cfg.exit
+    return_edges = [e for e in cfg.edges if e.kind == "return"]
+    assert return_edges
+    into_exit = [e for e in return_edges if e.dst == cfg.exit]
+    assert into_exit
+    for edge in into_exit:
+        block = cfg.blocks[edge.src]
+        assert any(isinstance(entry, WithExit) for entry in block.entries)
+
+
+# -- loops ------------------------------------------------------------------
+
+
+def test_while_loop_has_back_edge():
+    cfg = cfg_of(
+        """
+        def f(n):
+            while n > 0:
+                n -= 1
+            return n
+        """
+    )
+    back = [e for e in cfg.edges if e.kind == "back"]
+    assert len(back) == 1
+    head = cfg.blocks_labeled("while-head")[0]
+    assert back[0].dst == head.index
+
+
+def test_for_loop_has_back_edge_and_exit_edge():
+    cfg = cfg_of(
+        """
+        def f(items):
+            total = 0
+            for item in items:
+                total += item
+            return total
+        """
+    )
+    kinds = edge_kinds(cfg)
+    assert "back" in kinds
+    head = cfg.blocks_labeled("for-head")[0]
+    succ_kinds = {e.kind for e in cfg.succs(head.index)}
+    assert {"true", "false"} <= succ_kinds
+
+
+def test_while_true_has_no_false_edge():
+    cfg = cfg_of(
+        """
+        def f(q):
+            while True:
+                item = q.get()
+                if item is None:
+                    break
+            return 1
+        """
+    )
+    head = cfg.blocks_labeled("while-head")[0]
+    assert all(e.kind != "false" for e in cfg.succs(head.index))
+    assert any(e.kind == "break" for e in cfg.edges)
+
+
+def test_continue_targets_loop_head():
+    cfg = cfg_of(
+        """
+        def f(items):
+            for item in items:
+                if item is None:
+                    continue
+                use(item)
+            return 1
+        """
+    )
+    head = cfg.blocks_labeled("for-head")[0]
+    continues = [e for e in cfg.edges if e.kind == "continue"]
+    assert continues and all(e.dst == head.index for e in continues)
+
+
+# -- finally duplication ----------------------------------------------------
+
+
+def test_finally_duplicated_for_return_and_exception():
+    cfg = cfg_of(
+        """
+        def f(x):
+            try:
+                return g(x)
+            finally:
+                cleanup(x)
+        """
+    )
+    labels = [b.label for b in cfg.blocks if b.label.startswith("finally")]
+    # one copy on the return continuation, one on the exception path
+    assert len(labels) >= 2
+    exc_copies = cfg.blocks_labeled("finally-exc")
+    assert exc_copies
+    for copy in exc_copies:
+        kinds = {(e.kind, e.dst) for e in cfg.succs(copy.index)}
+        assert ("except", cfg.raise_exit) in kinds
+
+
+def test_finally_runs_on_fallthrough():
+    cfg = cfg_of(
+        """
+        def f(x):
+            try:
+                g(x)
+            finally:
+                cleanup(x)
+            return 1
+        """
+    )
+    normal = cfg.blocks_labeled("finally")
+    assert len(normal) == 1
+    lines = [entry_line(e) for e in normal[0].entries]
+    # the cleanup runs first on the fallthrough continuation (the
+    # return after the try lands in the same block)
+    assert lines[0] == 6
+
+
+def test_break_through_finally_copies_cleanup():
+    cfg = cfg_of(
+        """
+        def f(items):
+            for item in items:
+                try:
+                    if bad(item):
+                        break
+                finally:
+                    log(item)
+            return 1
+        """
+    )
+    jump_copies = cfg.blocks_labeled("finally-jump")
+    assert jump_copies
+    break_edges = [e for e in cfg.edges if e.kind == "break"]
+    assert any(e.dst in {b.index for b in jump_copies} for e in break_edges)
+
+
+# -- reachability sanity ----------------------------------------------------
+
+
+def test_reach_without_respects_stops_on_all_paths():
+    cfg = cfg_of(
+        """
+        def f(x):
+            r = acquire(x)
+            try:
+                use(r)
+            finally:
+                r.close()
+            return 1
+        """
+    )
+
+    def stops(entry):
+        node = entry if not hasattr(entry, "node") else entry.node
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "close"
+            ):
+                return True
+        return False
+
+    # from right after the acquire, every path to either exit crosses
+    # the finally's close
+    acquire_block = next(
+        b for b in cfg.blocks for e in b.entries if entry_line(e) == 3
+    )
+    witness = reach_without(
+        cfg,
+        [(acquire_block.index, 1)],
+        stops,
+        goal_blocks=frozenset({cfg.exit, cfg.raise_exit}),
+    )
+    assert witness is None
+
+
+# -- worklist engine --------------------------------------------------------
+
+
+def test_reaching_definitions_joins_both_branches():
+    cfg = cfg_of(
+        """
+        def f(flag):
+            if flag:
+                x = 1
+            else:
+                x = 2
+            return x
+        """
+    )
+    defs = reaching_definitions(cfg)
+    exit_defs = {(name, line) for name, line in defs[cfg.exit]}
+    assert ("x", 4) in exit_defs
+    assert ("x", 6) in exit_defs
+    assert ("flag", 0) in exit_defs  # parameters reach from line 0
+
+
+def test_reaching_definitions_kill_on_redefinition():
+    cfg = cfg_of(
+        """
+        def f(x):
+            x = 1
+            x = 2
+            return x
+        """
+    )
+    defs = reaching_definitions(cfg)
+    x_lines = {line for name, line in defs[cfg.exit] if name == "x"}
+    assert x_lines == {4}
+
+
+def test_reaching_definitions_loop_carries_both_defs():
+    cfg = cfg_of(
+        """
+        def f(items):
+            total = 0
+            for item in items:
+                total = step(total, item)
+            return total
+        """
+    )
+    defs = reaching_definitions(cfg)
+    total_lines = {line for name, line in defs[cfg.exit] if name == "total"}
+    assert total_lines == {3, 5}

@@ -44,3 +44,24 @@ def test_at_least_five_project_rules_are_active():
     rules = active_project_rules()
     assert len(rules) >= 5
     assert len(rules) == len(PROJECT_RULES)
+
+
+@pytest.mark.skipif(not SRC.is_dir(), reason="src/ layout not present")
+def test_src_tree_is_clean_under_flow_analysis():
+    """The --flow acceptance gate: zero path-sensitive findings at head."""
+    from repro.analysis.flow import analyze_flow, load_flow_modules
+
+    modules, errors = load_flow_modules([SRC])
+    assert errors == []
+    findings = analyze_flow(modules)
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_at_least_four_flow_rules_are_active():
+    from repro.analysis.flow import FLOW_RULES, active_flow_rules
+
+    rules = active_flow_rules()
+    # flow-spec (malformed declarations) plus the four path-sensitive
+    # lifecycle rules.
+    assert len(rules) >= 5
+    assert len(rules) == len(FLOW_RULES)

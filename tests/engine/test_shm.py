@@ -431,6 +431,55 @@ class TestSegmentLifecycle:
             SharedMemory(name=name)
 
 
+class TestInitFailureCleanup:
+    """Regressions: constructors that fail after acquiring segments
+    must release them — the caller never gets an object to close."""
+
+    def test_publish_failure_after_segments_releases_both(self, monkeypatch):
+        table = _build("packed", [(p, str(p)) for p in POOL[:6]])
+
+        class Boom(RuntimeError):
+            pass
+
+        def exploding_handle(**kwargs):
+            raise Boom("handle construction failed")
+
+        monkeypatch.setattr(shm, "SharedLpmHandle", exploding_handle)
+        before = _own_segments()
+        with pytest.raises(Boom):
+            SharedLpm(table, generation=next(shm._GENERATION_COUNTER))
+        assert _own_segments() == before
+
+    def test_raising_metrics_sink_still_tears_the_group_down(
+        self, monkeypatch
+    ):
+        pid = os.getpid()
+        seq = 992_001
+        from multiprocessing.shared_memory import SharedMemory
+
+        # A stale accumulator name forces leaked > 0, so the group's
+        # constructor reports to the metrics sink after a clean body.
+        stale = SharedMemory(name=f"repro-{pid}-{seq}a", create=True, size=8)
+        try:
+            monkeypatch.setattr(
+                shm, "_SEGMENT_COUNTER", itertools.count(seq)
+            )
+            packed = _build("packed", [(p, str(p)) for p in POOL[:6]])
+
+            class AngrySink:
+                def record_shm_unlink_failures(self, count):
+                    raise RuntimeError("metrics backend down")
+
+            with pytest.raises(RuntimeError, match="metrics backend down"):
+                shm.ShmWorkerGroup(packed, num_shards=1, metrics=AngrySink())
+        finally:
+            try:
+                stale.close()
+            except (OSError, BufferError):
+                pass
+        assert _own_segments() == []
+
+
 class TestMmapCheckpoints:
     """The v4 envelope: raw table section, zero-copy read-back."""
 

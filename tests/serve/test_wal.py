@@ -291,3 +291,39 @@ class TestInjectedFaults:
         assert [payload for _, payload in recovery.events] == [b"one", b"two"]
         assert recovery.truncated_frames == 1
         assert recovery.next_index == 2
+
+
+class TestSegmentHandleCleanup:
+    """Regression: a failed header write must close the descriptor.
+
+    ``_SegmentHandle.__init__`` opens the file before writing the
+    header; if the write raises (ENOSPC, a signal) nobody holds a
+    reference to the half-constructed handle, so the constructor is
+    the only place the descriptor can ever be closed.
+    """
+
+    def test_failed_header_write_closes_the_descriptor(
+        self, tmp_path, monkeypatch
+    ):
+        import builtins
+
+        from repro.serve import wal as wal_mod
+
+        real_open = builtins.open
+        opened = []
+
+        def recording_open(*args, **kwargs):
+            handle = real_open(*args, **kwargs)
+            opened.append(handle)
+            return handle
+
+        class ExplodingHeader:
+            def pack(self, *args):
+                raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(builtins, "open", recording_open)
+        monkeypatch.setattr(wal_mod, "_SEGMENT_HEADER", ExplodingHeader())
+        with pytest.raises(OSError):
+            wal_mod._SegmentHandle(str(tmp_path / "seg.wal"), 0, 0)
+        assert len(opened) == 1
+        assert opened[0].closed
