@@ -12,6 +12,11 @@ handful of files.  :class:`LintCache` memoizes findings in a JSON file
   unless the edit changes a ``FLOW_SPECS`` declaration, which shifts
   the fingerprint and correctly invalidates every module the spec
   governs.
+* ``--inter`` results are cached per module too, with a third key
+  component: a fingerprint of the effect summaries of every function
+  the module transitively calls in *other* modules — so editing a
+  helper's behaviour busts its callers' entries across module
+  boundaries, while a comment-only edit (same summary) does not.
 * ``--project`` results are cached as **one combined entry** (the
   cross-module rules see the whole tree, so any source or doc change
   invalidates the lot).
@@ -145,6 +150,20 @@ class LintCache:
     @staticmethod
     def flow_key(module_hash: str, fingerprint: str) -> str:
         return f"flow:{module_hash}:{fingerprint}"
+
+    @staticmethod
+    def inter_key(
+        module_hash: str, fingerprint: str, dep_fingerprint: str
+    ) -> str:
+        """The dependency-aware ``--inter`` key for one module.
+
+        Source hash × spec/rule fingerprint × callee-summary
+        fingerprint: a behavioural edit to a transitively-called helper
+        in *another* module changes its summary, which changes the dep
+        fingerprint — so the caller's cached entry is correctly busted
+        even though the caller's own source did not change.
+        """
+        return f"inter:{module_hash}:{fingerprint}:{dep_fingerprint}"
 
     @staticmethod
     def project_key(

@@ -96,6 +96,7 @@ __all__ = [
     "run_worklist",
     "reaching_definitions",
     "reach_without",
+    "STOP_NORMAL_ONLY",
     "PathWitness",
     "FlowRule",
     "FLOW_RULES",
@@ -803,10 +804,17 @@ class PathWitness:
         return tuple([e.src for e in self.edges] + [self.edges[-1].dst])
 
 
+#: Sentinel a ``stops`` callable may return instead of ``True``: the entry
+#: neutralises *fallthrough* (its normal exit releases), but its own except
+#: edges stay live — a callee that may raise before it releases.  Compares
+#: unequal to ``True``, so boolean-returning stops are unaffected.
+STOP_NORMAL_ONLY = "normal-only"
+
+
 def reach_without(
     cfg: CFG,
     starts: Sequence[Tuple[int, int]],
-    stops: Callable[[Entry], bool],
+    stops: Callable[[Entry], object],
     goal_blocks: FrozenSet[int] = frozenset(),
     goal_positions: FrozenSet[Tuple[int, int]] = frozenset(),
     stop_on_except_origin: bool = True,
@@ -818,9 +826,11 @@ def reach_without(
     every ``except`` edge originating at a scanned entry is followed
     with the state *before* that entry (when the entry is itself a stop
     and ``stop_on_except_origin`` is true, its own except edge counts
-    as stopped — the release-effective-even-if-it-raises asymmetry).
-    Falling off the block end follows every block-end edge.  Reaching a
-    goal block or goal position returns the shortest witness.
+    as stopped — the release-effective-even-if-it-raises asymmetry;
+    a stop verdict of ``STOP_NORMAL_ONLY`` keeps the entry's own except
+    edges live regardless, for callees that may raise *before* they
+    release).  Falling off the block end follows every block-end edge.
+    Reaching a goal block or goal position returns the shortest witness.
     """
     from collections import deque
 
@@ -866,8 +876,9 @@ def reach_without(
                 entry = block.entries[position]
                 return witness(state, "target", entry_line(entry), None)
             entry = block.entries[position]
-            if stops(entry):
-                if not stop_on_except_origin:
+            verdict = stops(entry)
+            if verdict:
+                if verdict == STOP_NORMAL_ONLY or not stop_on_except_origin:
                     for edge in except_edges_at(block, position):
                         nxt = (edge.dst, 0)
                         if edge.dst in goal_blocks:
@@ -946,7 +957,13 @@ _DEFAULT_CLEANUP_METHODS = (
 
 @dataclass(frozen=True)
 class ResourceSpec:
-    """``acquire -> [use]* -> release`` lifecycle for one resource kind."""
+    """``acquire -> [use]* -> release`` lifecycle for one resource kind.
+
+    ``transfers`` and ``returns_ownership`` are interprocedural clauses
+    (``--inter``): calling a ``transfers`` function with the resource
+    hands ownership over (a release, not an escape), and a call to a
+    ``returns_ownership`` function is an acquire site in the caller.
+    """
 
     resource: str
     acquire: Tuple[str, ...]
@@ -956,6 +973,8 @@ class ResourceSpec:
     require_kwarg: Optional[str] = None
     tuple_result: bool = False
     modules: Tuple[str, ...] = ()
+    transfers: Tuple[str, ...] = ()
+    returns_ownership: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -985,7 +1004,35 @@ class TruncationSpec:
     modules: Tuple[str, ...] = ()
 
 
-FlowSpec = Union[ResourceSpec, OrderSpec, GuardSpec, TruncationSpec]
+@dataclass(frozen=True)
+class EpochSpec:
+    """The shm exactly-once protocol, machine-checkable (``--inter``).
+
+    Three obligations over the governed modules' functions:
+
+    * every ``reads`` call is dominated by a ``guards`` check (a call,
+      or a branch test naming a guard token) after any ``invalidators``
+      call — the worker/driver generation handshake;
+    * no ``folds`` call is reachable from a previous fold without a
+      ``refresh`` in between — ack-fold paths must not double-fold the
+      accumulator deltas;
+    * no ``dispatch`` call is reachable after an ``unlink`` call
+      without a ``republish`` in between — a live handle must never be
+      dispatched against unlinked segments.
+    """
+
+    reads: Tuple[str, ...] = ()
+    guards: Tuple[str, ...] = ()
+    invalidators: Tuple[str, ...] = ()
+    folds: Tuple[str, ...] = ()
+    refresh: Tuple[str, ...] = ()
+    unlink: Tuple[str, ...] = ()
+    dispatch: Tuple[str, ...] = ()
+    republish: Tuple[str, ...] = ()
+    modules: Tuple[str, ...] = ()
+
+
+FlowSpec = Union[ResourceSpec, OrderSpec, GuardSpec, TruncationSpec, EpochSpec]
 
 #: Resource lifecycles every module is checked against.
 DEFAULT_RESOURCE_SPECS: Tuple[ResourceSpec, ...] = (
@@ -1021,11 +1068,27 @@ _SPEC_FIELDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
             "require_kwarg",
             "tuple_result",
             "modules",
+            "transfers",
+            "returns_ownership",
         ),
     ),
     "wal-order": (("functions", "append"), ("allow", "modules")),
     "stale-epoch-read": (("reads", "guards"), ("invalidators", "modules")),
     "unchecked-truncation": ((), ("modules",)),
+    "epoch-protocol": (
+        (),
+        (
+            "reads",
+            "guards",
+            "invalidators",
+            "folds",
+            "refresh",
+            "unlink",
+            "dispatch",
+            "republish",
+            "modules",
+        ),
+    ),
 }
 
 
@@ -1076,6 +1139,8 @@ def _parse_spec(raw: Dict[str, object], declaring_module: str) -> FlowSpec:
             require_kwarg=require_kwarg,
             tuple_result=tuple_result,
             modules=modules,
+            transfers=_as_str_tuple(raw.get("transfers", ())),
+            returns_ownership=_as_str_tuple(raw.get("returns_ownership", ())),
         )
     if rule == "wal-order":
         return OrderSpec(
@@ -1089,6 +1154,18 @@ def _parse_spec(raw: Dict[str, object], declaring_module: str) -> FlowSpec:
             reads=_as_str_tuple(raw["reads"]),
             guards=_as_str_tuple(raw["guards"]),
             invalidators=_as_str_tuple(raw.get("invalidators", ())),
+            modules=modules,
+        )
+    if rule == "epoch-protocol":
+        return EpochSpec(
+            reads=_as_str_tuple(raw.get("reads", ())),
+            guards=_as_str_tuple(raw.get("guards", ())),
+            invalidators=_as_str_tuple(raw.get("invalidators", ())),
+            folds=_as_str_tuple(raw.get("folds", ())),
+            refresh=_as_str_tuple(raw.get("refresh", ())),
+            unlink=_as_str_tuple(raw.get("unlink", ())),
+            dispatch=_as_str_tuple(raw.get("dispatch", ())),
+            republish=_as_str_tuple(raw.get("republish", ())),
             modules=modules,
         )
     return TruncationSpec(modules=modules)

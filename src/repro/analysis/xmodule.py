@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import ast
 import re
+from dataclasses import dataclass
 from pathlib import Path
 from typing import (
     Dict,
@@ -63,6 +64,7 @@ from repro.analysis.rules import _DISPATCH_METHODS, _dotted_name, _last_segment
 
 __all__ = [
     "Project",
+    "FuncInfo",
     "ProjectRule",
     "PROJECT_RULES",
     "register_project",
@@ -101,6 +103,9 @@ class Project:
         self._imports: Optional[
             Dict[str, Dict[str, Tuple[str, Optional[str]]]]
         ] = None
+        self._functions: Optional[Dict[str, "FuncInfo"]] = None
+        self._func_keys: Optional[Dict[int, str]] = None
+        self._call_graph: Optional[Dict[str, Tuple[str, ...]]] = None
 
     @classmethod
     def load(
@@ -276,6 +281,125 @@ class Project:
         for method_module, _class_def, method in self.methods_named(attr):
             targets.append((method_module, method))
         return targets
+
+    # -- call graph ------------------------------------------------------
+
+    def functions(self) -> Dict[str, "FuncInfo"]:
+        """Every analyzable function, keyed ``"module:qualname"``.
+
+        Covers top-level functions (``pkg.mod:helper``) and methods of
+        top-level classes (``pkg.mod:Cls.method``) — the same universe
+        :meth:`resolve_callable` can land on.  Nested defs are callee
+        opaque (havoc'd) by construction.
+        """
+        if self._functions is None:
+            self._functions = {}
+            self._func_keys = {}
+            for name, module in self.modules.items():
+                for node in module.tree.body:
+                    if isinstance(node, _FUNCTION_DEFS):
+                        self._add_function(f"{name}:{node.name}", module, node, None)
+                    elif isinstance(node, ast.ClassDef):
+                        for member in node.body:
+                            if isinstance(member, _FUNCTION_DEFS):
+                                self._add_function(
+                                    f"{name}:{node.name}.{member.name}",
+                                    module,
+                                    member,
+                                    node.name,
+                                )
+        return self._functions
+
+    def _add_function(
+        self,
+        key: str,
+        module: LintModule,
+        node: ast.FunctionDef,
+        class_name: Optional[str],
+    ) -> None:
+        assert self._functions is not None and self._func_keys is not None
+        self._functions[key] = FuncInfo(key, module, node, class_name)
+        self._func_keys[id(node)] = key
+
+    def func_key(self, node: ast.FunctionDef) -> Optional[str]:
+        """The ``"module:qualname"`` key of a def, if it is indexed."""
+        self.functions()
+        assert self._func_keys is not None
+        return self._func_keys.get(id(node))
+
+    def resolve_call_keys(
+        self,
+        module: LintModule,
+        func_expr: ast.AST,
+        class_name: Optional[str] = None,
+    ) -> List[str]:
+        """Resolve a call's callee expression to function keys.
+
+        ``self.m(...)`` inside a method of ``class_name`` resolves to
+        that class's own ``m`` when it has one — the single precise
+        edge — and only falls back to the every-method-of-that-name
+        over-approximation otherwise.
+        """
+        if (
+            class_name is not None
+            and isinstance(func_expr, ast.Attribute)
+            and isinstance(func_expr.value, ast.Name)
+            and func_expr.value.id == "self"
+        ):
+            own = f"{module.module}:{class_name}.{func_expr.attr}"
+            if own in self.functions():
+                return [own]
+        keys: List[str] = []
+        for _ref_module, func in self.resolve_callable(module, func_expr):
+            key = self.func_key(func)
+            if key is not None and key not in keys:
+                keys.append(key)
+        return keys
+
+    def call_graph(self) -> Dict[str, Tuple[str, ...]]:
+        """Resolved project-internal call edges, per function key.
+
+        Only edges landing on indexed project functions appear —
+        stdlib / third-party / nested callees are havoc'd at the call
+        site by the interprocedural pass, not modelled here.
+        """
+        if self._call_graph is None:
+            graph: Dict[str, Tuple[str, ...]] = {}
+            for key, info in self.functions().items():
+                callees: List[str] = []
+                for call in iter_local_calls(info.node):
+                    for callee in self.resolve_call_keys(
+                        info.module, call.func, info.class_name
+                    ):
+                        if callee not in callees:
+                            callees.append(callee)
+                graph[key] = tuple(callees)
+            self._call_graph = graph
+        return self._call_graph
+
+
+@dataclass(frozen=True)
+class FuncInfo:
+    """One indexed function: its key, home module, def, and class."""
+
+    key: str
+    module: LintModule
+    node: ast.FunctionDef
+    class_name: Optional[str]
+
+
+def iter_local_calls(func: ast.FunctionDef) -> Iterator[ast.Call]:
+    """Every ``Call`` in ``func``'s own body, skipping nested def bodies."""
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FUNCTION_DEFS) or isinstance(
+            node, (ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
 
 
 class ProjectRule:

@@ -94,6 +94,33 @@ FLOW_SPECS = (
         "invalidators": ("apply_delta",),
         "modules": ("repro.engine",),
     },
+    # Driver-side exactly-once protocol (checked interprocedurally by
+    # ``repro-lint --flow --inter``): every dispatch re-establishes
+    # freshness since the last delta, counter folds are separated by an
+    # ack round, and an unlinked group never sees another dispatch
+    # without a republish in between.
+    {
+        "rule": "epoch-protocol",
+        "reads": ("dispatch",),
+        "guards": ("is_stale", "_ensure_shm_group"),
+        "invalidators": ("apply_delta",),
+        "folds": ("_drain_counters",),
+        "refresh": ("_await_acks",),
+        "unlink": ("shutdown", "release_shm"),
+        "dispatch": ("dispatch",),
+        "republish": ("ShmWorkerGroup", "_ensure_shm_group"),
+        "modules": ("repro.engine",),
+    },
+    # Worker-side half of the protocol: a batch applies against the
+    # attached table only after the generation check since the last
+    # (re-)attach; the guard is the comparison against ``generation``.
+    {
+        "rule": "epoch-protocol",
+        "reads": ("apply_packed",),
+        "guards": ("generation",),
+        "invalidators": ("attach_shared_table",),
+        "modules": ("repro.engine.shm",),
+    },
 )
 
 #: Per-shard slots in the shared accumulator array, in order.  Workers

@@ -184,6 +184,118 @@ def test_cli_flow_cache_invalidates_on_edit(leaky_tree, tmp_path, capsys):
     assert json.loads(capsys.readouterr().out) == []
 
 
+def test_inter_key_tracks_all_three_components():
+    base = LintCache.inter_key(source_hash("x = 1\n"), "fp-a", "dep-a")
+    assert LintCache.inter_key(source_hash("x = 2\n"), "fp-a", "dep-a") != base
+    assert LintCache.inter_key(source_hash("x = 1\n"), "fp-b", "dep-a") != base
+    assert LintCache.inter_key(source_hash("x = 1\n"), "fp-a", "dep-b") != base
+    assert LintCache.inter_key(source_hash("x = 1\n"), "fp-a", "dep-a") == base
+
+
+HELPER_RELEASES = (
+    "def teardown(segment):\n"
+    "    segment.close()\n"
+    "    segment.unlink()\n"
+)
+
+HELPER_FORGETS = (
+    "def teardown(segment):\n"
+    "    segment.flush()\n"
+)
+
+CALLER = (
+    "from multiprocessing.shared_memory import SharedMemory\n"
+    "\n"
+    "from helper import teardown\n"
+    "\n"
+    "\n"
+    "def publish(size, queue):\n"
+    "    segment = SharedMemory(name='seg', create=True, size=size)\n"
+    "    try:\n"
+    "        queue.put(size)\n"
+    "    finally:\n"
+    "        teardown(segment)\n"
+)
+
+
+@pytest.fixture()
+def helper_tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "helper.py").write_text(HELPER_RELEASES, encoding="utf-8")
+    (pkg / "caller.py").write_text(CALLER, encoding="utf-8")
+    return pkg
+
+
+def inter_argv(tree, cache_file):
+    return [
+        "--flow",
+        "--inter",
+        "--cache",
+        str(cache_file),
+        "--format=json",
+        str(tree),
+    ]
+
+
+def test_cli_inter_cache_busts_caller_on_callee_behaviour_edit(
+    helper_tree, tmp_path, capsys
+):
+    # The caller's own source never changes; only the helper it calls
+    # does.  A content-hash-only cache would wrongly reuse the caller's
+    # clean verdict — the dependency-aware key must not.
+    cache_file = tmp_path / "cache.json"
+    argv = inter_argv(helper_tree, cache_file)
+    assert main(argv) == 0
+    assert json.loads(capsys.readouterr().out) == []
+
+    (helper_tree / "helper.py").write_text(HELPER_FORGETS, encoding="utf-8")
+    assert main(argv) == 1
+    findings = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in findings] == ["inter-resource-leak"]
+    assert findings[0]["path"].endswith("caller.py")
+
+
+def test_cli_inter_cache_keeps_caller_on_docstring_only_callee_edit(
+    helper_tree, tmp_path, capsys, monkeypatch
+):
+    import repro.analysis.inter as inter_mod
+
+    cache_file = tmp_path / "cache.json"
+    calls = []
+    real = inter_mod.inter_findings_for_module
+
+    def counting(module, context, rules):
+        calls.append(module.module)
+        return real(module, context, rules)
+
+    monkeypatch.setattr(inter_mod, "inter_findings_for_module", counting)
+
+    argv = inter_argv(helper_tree, cache_file)
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert sorted(calls) == ["caller", "helper"]  # cold run
+
+    calls.clear()
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert calls == []  # warm run: every module served from cache
+
+    # A docstring-only edit changes the helper's hash but not its
+    # effect summary: the helper re-analyzes, the caller stays cached.
+    (helper_tree / "helper.py").write_text(
+        HELPER_RELEASES.replace(
+            "def teardown(segment):\n",
+            'def teardown(segment):\n    """Release both handles."""\n',
+        ),
+        encoding="utf-8",
+    )
+    calls.clear()
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert calls == ["helper"]
+
+
 def test_cli_project_cache_round_trip(leaky_tree, tmp_path, capsys):
     cache_file = tmp_path / "cache.json"
     argv = ["--project", "--cache", str(cache_file), "--format=json", str(leaky_tree)]

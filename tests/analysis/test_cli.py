@@ -200,3 +200,162 @@ class TestBaseline:
         with pytest.raises(SystemExit) as excinfo:
             main(["--baseline", str(baseline), str(tmp_path)])
         assert excinfo.value.code == 2
+
+
+LEAKY_FLOW_SNIPPET = textwrap.dedent(
+    """
+    from multiprocessing.shared_memory import SharedMemory
+
+
+    def build(size, queue):
+        seg = SharedMemory(create=True, size=size)
+        queue.put(size)
+        seg.close()
+        seg.unlink()
+    """
+)
+
+HELPER_LEAK_TREE = {
+    "segments.py": textwrap.dedent(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+
+        def make_segment(size):
+            return SharedMemory(name="seg", create=True, size=size)
+        """
+    ),
+    "driver.py": textwrap.dedent(
+        """
+        from segments import make_segment
+
+
+        def publish(size, queue):
+            segment = make_segment(size)
+            queue.put(size)
+            segment.close()
+            segment.unlink()
+        """
+    ),
+}
+
+
+def write_tree(tmp_path, files):
+    for name, source in files.items():
+        (tmp_path / name).write_text(source, encoding="utf-8")
+
+
+class TestInterMode:
+    def test_inter_requires_flow(self, tmp_path):
+        (tmp_path / "ok.py").write_text(CLEAN_SNIPPET)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--inter", str(tmp_path)])
+        assert excinfo.value.code == 2
+
+    def test_inter_reports_cross_function_leak(self, tmp_path, capsys):
+        write_tree(tmp_path, HELPER_LEAK_TREE)
+        assert main(["--flow", "--inter", "--format=json", str(tmp_path)]) == 1
+        findings = json.loads(capsys.readouterr().out)
+        assert [f["rule"] for f in findings] == ["inter-resource-leak"]
+
+    def test_flow_alone_misses_the_cross_function_leak(self, tmp_path, capsys):
+        write_tree(tmp_path, HELPER_LEAK_TREE)
+        assert main(["--flow", "--format=json", str(tmp_path)]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_inter_rule_ids_are_selectable(self, tmp_path, capsys):
+        write_tree(tmp_path, HELPER_LEAK_TREE)
+        code = main([
+            "--flow", "--inter", "--select", "inter-wal-order",
+            "--format=json", str(tmp_path),
+        ])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_timings_table_goes_to_stderr(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN_SNIPPET)
+        assert main(["--flow", "--inter", "--timings", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "repro-lint timings:" in err
+        assert "inter:summaries" in err
+        assert "inter:total" in err
+
+    def test_generous_budget_passes(self, tmp_path):
+        (tmp_path / "ok.py").write_text(CLEAN_SNIPPET)
+        assert main(["--flow", "--inter", "--budget", "600",
+                     str(tmp_path)]) == 0
+
+    def test_blown_budget_fails_even_when_clean(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN_SNIPPET)
+        assert main(["--flow", "--inter", "--budget", "0",
+                     str(tmp_path)]) == 1
+        assert "budget" in capsys.readouterr().err
+
+
+class TestSarif:
+    def test_sarif_output_shape(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(BAD_SNIPPET)
+        assert main(["--format=sarif", str(tmp_path)]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert "mutable-default" in rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "mutable-default"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+
+    def test_clean_tree_emits_empty_sarif_run(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN_SNIPPET)
+        assert main(["--format=sarif", str(tmp_path)]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"] == []
+
+    def test_sarif_covers_flow_and_inter_findings(self, tmp_path, capsys):
+        write_tree(tmp_path, HELPER_LEAK_TREE)
+        assert main(["--flow", "--inter", "--format=sarif",
+                     str(tmp_path)]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert [r["ruleId"] for r in log["runs"][0]["results"]] == [
+            "inter-resource-leak"
+        ]
+
+
+class TestFlowBaseline:
+    def test_baseline_covers_flow_findings(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(LEAKY_FLOW_SNIPPET)
+        assert main(["--flow", "--format=json", str(target)]) == 1
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(capsys.readouterr().out)
+        assert main(["--flow", "--baseline", str(baseline),
+                     str(target)]) == 0
+
+    def test_flow_baseline_survives_witness_line_drift(
+        self, tmp_path, capsys
+    ):
+        # Unrelated edits shift the path witness's line numbers inside
+        # the message; normalization must keep the finding suppressed.
+        target = tmp_path / "bad.py"
+        target.write_text(LEAKY_FLOW_SNIPPET)
+        assert main(["--flow", "--format=json", str(target)]) == 1
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(capsys.readouterr().out)
+        target.write_text(
+            "# a banner comment\n# shifts every line\n" + LEAKY_FLOW_SNIPPET
+        )
+        assert main(["--flow", "--baseline", str(baseline),
+                     str(target)]) == 0
+
+    def test_baseline_covers_inter_findings(self, tmp_path, capsys):
+        write_tree(tmp_path, HELPER_LEAK_TREE)
+        assert main(["--flow", "--inter", "--format=json",
+                     str(tmp_path)]) == 1
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(capsys.readouterr().out)
+        assert main(["--flow", "--inter", "--baseline", str(baseline),
+                     str(tmp_path)]) == 0

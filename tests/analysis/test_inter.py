@@ -1,0 +1,583 @@
+"""Good/bad fixture pairs for the interprocedural (``--inter``) rules.
+
+Every bad fixture here is *interprocedural-only*: the defect is split
+across a caller and a helper so the intraprocedural ``--flow`` pass is
+provably blind to it (asserted alongside each family), while the
+summary-based pass sees through the call.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.core import Finding, LintModule
+from repro.analysis.flow import analyze_flow, collect_specs
+from repro.analysis.inter import (
+    active_inter_rules,
+    analyze_inter,
+    build_inter_context,
+    compute_summaries,
+    dep_fingerprint,
+)
+
+
+def make_modules(
+    *sources: Tuple[str, str],
+) -> List[LintModule]:
+    return [
+        LintModule(
+            textwrap.dedent(source),
+            path=f"{module.rsplit('.', 1)[-1]}.py",
+            module=module,
+        )
+        for module, source in sources
+    ]
+
+
+def run_inter(
+    *sources: Tuple[str, str], rule_id: Optional[str] = None
+) -> List[Finding]:
+    modules = make_modules(*sources)
+    rules = active_inter_rules(select=[rule_id]) if rule_id else None
+    return analyze_inter(modules, rules)
+
+
+def run_intra(*sources: Tuple[str, str]) -> List[Finding]:
+    return analyze_flow(make_modules(*sources))
+
+
+def ids(findings: Sequence[Finding]) -> List[str]:
+    return [finding.rule_id for finding in findings]
+
+
+# -- inter-resource-leak -----------------------------------------------------
+
+HELPER_ACQUIRE_LEAK = """
+    from multiprocessing.shared_memory import SharedMemory
+
+    def make_segment(size):
+        return SharedMemory(name="seg", create=True, size=size)
+
+    def teardown(segment):
+        segment.close()
+        segment.unlink()
+
+    def publish(size, queue, payload):
+        segment = make_segment(size)
+        queue.put(len(payload))
+        teardown(segment)
+    """
+
+
+def test_inter_resource_leak_sees_through_helper_acquire_and_release():
+    # The acquire is hidden in make_segment() and the release in
+    # teardown(); queue.put() between them can raise, leaking the
+    # segment on the exception edge.
+    findings = run_inter(
+        ("repro.simnet.snippet", HELPER_ACQUIRE_LEAK),
+        rule_id="inter-resource-leak",
+    )
+    assert ids(findings) == ["inter-resource-leak"]
+    assert "segment" in findings[0].message
+    assert "publish" in findings[0].message
+
+
+def test_intraprocedural_pass_misses_the_helper_hidden_leak():
+    # The old --flow pass never sees an acquire: make_segment() is not a
+    # SharedMemory(...) call, and teardown(segment) reads as an escape.
+    assert run_intra(("repro.simnet.snippet", HELPER_ACQUIRE_LEAK)) == []
+
+
+def test_inter_resource_leak_quiet_with_try_finally_helper_release():
+    findings = run_inter(
+        (
+            "repro.simnet.snippet",
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def make_segment(size):
+                return SharedMemory(name="seg", create=True, size=size)
+
+            def teardown(segment):
+                segment.close()
+                segment.unlink()
+
+            def publish(size, queue, payload):
+                segment = make_segment(size)
+                try:
+                    queue.put(len(payload))
+                finally:
+                    teardown(segment)
+            """,
+        ),
+        rule_id="inter-resource-leak",
+    )
+    assert findings == []
+
+
+def test_inter_resource_leak_flags_helper_that_raises_before_release():
+    # The helper does release — but only after a call that can raise, so
+    # the caller's finally is not enough on the helper's exception edge.
+    findings = run_inter(
+        (
+            "repro.simnet.snippet",
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def flush_and_close(segment, sink):
+                sink.write(segment.name)
+                segment.close()
+                segment.unlink()
+
+            def publish(size, sink):
+                segment = SharedMemory(name="seg", create=True, size=size)
+                flush_and_close(segment, sink)
+            """,
+        ),
+        rule_id="inter-resource-leak",
+    )
+    assert ids(findings) == ["inter-resource-leak"]
+
+
+def test_inter_resource_leak_respects_ownership_transfer_clause():
+    # FLOW_SPECS "transfers" marks hand-off points: the registry now
+    # owns the segment, so the caller is clean without a release.
+    findings = run_inter(
+        (
+            "repro.simnet.snippet",
+            """
+            FLOW_SPECS = (
+                {
+                    "rule": "resource-leak",
+                    "resource": "tracked segment",
+                    "acquire": ("SharedMemory",),
+                    "require_kwarg": "create",
+                    "release_methods": ("close",),
+                    "transfers": ("adopt_segment",),
+                },
+            )
+
+            from multiprocessing.shared_memory import SharedMemory
+
+            def publish(size, registry):
+                segment = SharedMemory(name="seg", create=True, size=size)
+                registry.adopt_segment(segment)
+            """,
+        ),
+        rule_id="inter-resource-leak",
+    )
+    assert findings == []
+
+
+def test_inter_resource_leak_crosses_module_boundaries():
+    findings = run_inter(
+        (
+            "repro.simnet.segments",
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def make_segment(size):
+                return SharedMemory(name="seg", create=True, size=size)
+            """,
+        ),
+        (
+            "repro.simnet.driver",
+            """
+            from repro.simnet.segments import make_segment
+
+            def publish(size, queue):
+                segment = make_segment(size)
+                queue.put(size)
+                segment.close()
+                segment.unlink()
+            """,
+        ),
+        rule_id="inter-resource-leak",
+    )
+    assert ids(findings) == ["inter-resource-leak"]
+    assert findings[0].path == "driver.py"
+
+
+# -- inter-wal-order ---------------------------------------------------------
+
+HELPER_MUTATION_BEFORE_APPEND = """
+    FLOW_SPECS = (
+        {
+            "rule": "wal-order",
+            "functions": ("feed",),
+            "append": ("_wal_append",),
+        },
+    )
+
+    class Daemon:
+        def _index(self, event):
+            self._events.append(event)
+
+        def _wal_append(self, event):
+            self._wal.write(event)
+
+        def feed(self, event):
+            self._index(event)
+            self._wal_append(event)
+    """
+
+
+def test_inter_wal_order_flags_helper_hidden_mutation_before_append():
+    findings = run_inter(
+        ("repro.simnet.snippet", HELPER_MUTATION_BEFORE_APPEND),
+        rule_id="inter-wal-order",
+    )
+    assert ids(findings) == ["inter-wal-order"]
+    assert "_index" in findings[0].message
+    assert "_events" in findings[0].message
+
+
+def test_intraprocedural_pass_misses_the_helper_hidden_mutation():
+    # The old wal-order rule only sees direct self-attribute writes in
+    # feed(); the mutation lives inside _index().
+    assert (
+        run_intra(("repro.simnet.snippet", HELPER_MUTATION_BEFORE_APPEND))
+        == []
+    )
+
+
+def test_inter_wal_order_quiet_when_append_precedes_helper_mutation():
+    findings = run_inter(
+        (
+            "repro.simnet.snippet",
+            """
+            FLOW_SPECS = (
+                {
+                    "rule": "wal-order",
+                    "functions": ("feed",),
+                    "append": ("_wal_append",),
+                },
+            )
+
+            class Daemon:
+                def _index(self, event):
+                    self._events.append(event)
+
+                def _wal_append(self, event):
+                    self._wal.write(event)
+
+                def feed(self, event):
+                    self._wal_append(event)
+                    self._index(event)
+            """,
+        ),
+        rule_id="inter-wal-order",
+    )
+    assert findings == []
+
+
+# -- epoch-protocol ----------------------------------------------------------
+
+DISPATCH_AFTER_HELPER_UNLINK = """
+    FLOW_SPECS = (
+        {
+            "rule": "epoch-protocol",
+            "unlink": ("shutdown",),
+            "dispatch": ("dispatch",),
+            "republish": ("republish",),
+        },
+    )
+
+    class Driver:
+        def teardown(self):
+            self.group.shutdown()
+
+        def retry(self, batch):
+            self.teardown()
+            self.group.dispatch(batch)
+    """
+
+
+def test_epoch_protocol_flags_dispatch_after_helper_hidden_unlink():
+    findings = run_inter(
+        ("repro.simnet.snippet", DISPATCH_AFTER_HELPER_UNLINK),
+        rule_id="epoch-protocol",
+    )
+    assert ids(findings) == ["epoch-protocol"]
+    assert "retry" in findings[0].message
+
+
+def test_intraprocedural_pass_has_no_epoch_protocol_rule():
+    assert run_intra(("repro.simnet.snippet", DISPATCH_AFTER_HELPER_UNLINK)) == []
+
+
+def test_epoch_protocol_flags_double_fold_through_helper():
+    findings = run_inter(
+        (
+            "repro.simnet.snippet",
+            """
+            FLOW_SPECS = (
+                {
+                    "rule": "epoch-protocol",
+                    "folds": ("_drain",),
+                    "refresh": ("_await_acks",),
+                },
+            )
+
+            class Group:
+                def _drain(self):
+                    return self.counters.snapshot()
+
+                def totals(self):
+                    return self._drain()
+
+                def dispatch_and_report(self, batch):
+                    self.send(batch)
+                    self._await_acks(1)
+                    first = self._drain()
+                    second = self.totals()
+                    return first + second
+            """,
+        ),
+        rule_id="epoch-protocol",
+    )
+    assert ids(findings) == ["epoch-protocol"]
+    assert "dispatch_and_report" in findings[0].message
+
+
+def test_epoch_protocol_flags_unguarded_read_after_helper_invalidation():
+    findings = run_inter(
+        (
+            "repro.simnet.snippet",
+            """
+            FLOW_SPECS = (
+                {
+                    "rule": "epoch-protocol",
+                    "reads": ("dispatch",),
+                    "guards": ("is_stale",),
+                    "invalidators": ("apply_delta",),
+                },
+            )
+
+            class Driver:
+                def patch(self, announce):
+                    self.table.apply_delta(announce)
+
+                def ingest(self, announce, batch):
+                    if self.group.is_stale(self.table):
+                        self.group = self.republish()
+                    self.patch(announce)
+                    self.group.dispatch(batch)
+            """,
+        ),
+        rule_id="epoch-protocol",
+    )
+    # The guard runs before the helper-hidden invalidation; the dispatch
+    # after patch() needs a fresh guard.
+    assert ids(findings) == ["epoch-protocol"]
+    assert "ingest" in findings[0].message
+
+
+GOOD_PROTOCOL = """
+    FLOW_SPECS = (
+        {
+            "rule": "epoch-protocol",
+            "reads": ("dispatch",),
+            "guards": ("is_stale", "_ensure_group"),
+            "invalidators": ("apply_delta",),
+            "folds": ("_drain",),
+            "refresh": ("_await_acks",),
+            "unlink": ("shutdown",),
+            "dispatch": ("dispatch",),
+            "republish": ("WorkerGroup", "_ensure_group"),
+        },
+    )
+
+    class WorkerGroup:
+        def __init__(self, table):
+            self.table = table
+            self.generation = table.epoch
+
+        def is_stale(self, table):
+            return self.generation != table.epoch
+
+        def _await_acks(self, seq):
+            return [conn.recv() for conn in self.conns]
+
+        def _drain(self):
+            return self.counters.snapshot()
+
+        def dispatch(self, batch):
+            seq = self.send(batch)
+            self._await_acks(seq)
+            return self._drain()
+
+        def sync(self):
+            seq = self.send(None)
+            payloads = self._await_acks(seq)
+            return payloads, self._drain()
+
+        def shutdown(self):
+            for conn in self.conns:
+                conn.close()
+
+    class Engine:
+        def _ensure_group(self):
+            group = self.group
+            if group is not None and group.is_stale(self.table):
+                group.shutdown()
+                group = None
+            if group is None:
+                group = WorkerGroup(self.table)
+                self.group = group
+            return group
+
+        def apply(self, announce):
+            self.table.apply_delta(announce)
+
+        def dispatch_chunk(self, batch):
+            group = self._ensure_group()
+            return group.dispatch(batch)
+    """
+
+
+def test_epoch_protocol_quiet_on_the_real_dispatch_ack_republish_shape():
+    # Mirrors the ShmWorkerGroup flow: every dispatch re-establishes
+    # freshness through _ensure_group (which may tear down and
+    # republish), every fold sits behind an ack round, and the teardown
+    # helper republishes before any further dispatch.
+    findings = run_inter(
+        ("repro.simnet.snippet", GOOD_PROTOCOL), rule_id="epoch-protocol"
+    )
+    assert findings == []
+
+
+# -- summaries and fingerprints ----------------------------------------------
+
+
+def _context(*sources: Tuple[str, str]):
+    modules = make_modules(*sources)
+    specs, _ = collect_specs(modules)
+    return modules, build_inter_context(modules, specs)
+
+
+def test_summaries_record_helper_release_and_ownership_return():
+    modules, context = _context(
+        ("repro.simnet.snippet", HELPER_ACQUIRE_LEAK)
+    )
+    teardown = context.summaries["repro.simnet.snippet:teardown"]
+    assert teardown.releases_on_return
+    maker = context.summaries["repro.simnet.snippet:make_segment"]
+    assert maker.returns_owned
+
+
+def test_dep_fingerprint_tracks_out_of_module_callee_summaries():
+    helper_v1 = (
+        "repro.simnet.segments",
+        """
+        def teardown(segment):
+            segment.close()
+            segment.unlink()
+        """,
+    )
+    helper_v2 = (
+        "repro.simnet.segments",
+        """
+        def teardown(segment):
+            segment.flush()
+        """,
+    )
+    caller = (
+        "repro.simnet.driver",
+        """
+        from repro.simnet.segments import teardown
+
+        def publish(segment, queue):
+            queue.put(segment.name)
+            teardown(segment)
+        """,
+    )
+    modules_v1, context_v1 = _context(helper_v1, caller)
+    modules_v2, context_v2 = _context(helper_v2, caller)
+    driver_v1 = next(m for m in modules_v1 if m.module.endswith("driver"))
+    driver_v2 = next(m for m in modules_v2 if m.module.endswith("driver"))
+    assert dep_fingerprint(driver_v1, context_v1) != dep_fingerprint(
+        driver_v2, context_v2
+    )
+    # The helper's own docstring/comment churn keeps the fingerprint.
+    helper_v1_commented = (
+        helper_v1[0],
+        helper_v1[1].replace(
+            "def teardown(segment):",
+            'def teardown(segment):\n            """Release both handles."""',
+        ),
+    )
+    modules_v3, context_v3 = _context(helper_v1_commented, caller)
+    driver_v3 = next(m for m in modules_v3 if m.module.endswith("driver"))
+    assert dep_fingerprint(driver_v1, context_v1) == dep_fingerprint(
+        driver_v3, context_v3
+    )
+
+
+def test_recursive_helpers_reach_a_fixpoint():
+    # Mutually recursive release helpers still converge and the caller
+    # is credited with the release.
+    findings = run_inter(
+        (
+            "repro.simnet.snippet",
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def release_even(segment, depth):
+                if depth > 0:
+                    release_odd(segment, depth - 1)
+                else:
+                    segment.close()
+                    segment.unlink()
+
+            def release_odd(segment, depth):
+                release_even(segment, depth)
+
+            def publish(size):
+                segment = SharedMemory(name="seg", create=True, size=size)
+                release_even(segment, 2)
+            """,
+        ),
+        rule_id="inter-resource-leak",
+    )
+    assert findings == []
+
+
+def test_unknown_callees_are_havocked_not_trusted():
+    # A call the project cannot resolve must not be credited with the
+    # release — the leak is still reported.
+    findings = run_inter(
+        (
+            "repro.simnet.snippet",
+            """
+            from multiprocessing.shared_memory import SharedMemory
+            from somewhere.external import mystery_cleanup
+
+            def make_segment(size):
+                return SharedMemory(name="seg", create=True, size=size)
+
+            def publish(size):
+                segment = make_segment(size)
+                mystery_cleanup()
+            """,
+        ),
+        rule_id="inter-resource-leak",
+    )
+    assert ids(findings) == ["inter-resource-leak"]
+
+
+def test_compute_summaries_is_deterministic():
+    modules = make_modules(("repro.simnet.snippet", GOOD_PROTOCOL))
+    specs, _ = collect_specs(modules)
+    from repro.analysis.xmodule import Project
+
+    def build():
+        project = Project({m.module: m for m in modules})
+        resource = [s for s in specs if type(s).__name__ == "ResourceSpec"]
+        order = [s for s in specs if type(s).__name__ == "OrderSpec"]
+        epoch = [s for s in specs if type(s).__name__ == "EpochSpec"]
+        summaries = compute_summaries(project, resource, order, epoch)
+        return {key: value.stable_repr() for key, value in summaries.items()}
+
+    assert build() == build()

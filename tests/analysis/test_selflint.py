@@ -65,3 +65,24 @@ def test_at_least_four_flow_rules_are_active():
     # lifecycle rules.
     assert len(rules) >= 5
     assert len(rules) == len(FLOW_RULES)
+
+
+@pytest.mark.skipif(not SRC.is_dir(), reason="src/ layout not present")
+def test_src_tree_is_clean_under_interprocedural_analysis():
+    """The --inter acceptance gate: zero summary-based findings at head."""
+    from repro.analysis.flow import load_flow_modules
+    from repro.analysis.inter import analyze_inter
+
+    modules, errors = load_flow_modules([SRC])
+    assert errors == []
+    findings = analyze_inter(modules)
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_at_least_three_inter_rules_are_active():
+    from repro.analysis.inter import INTER_RULES, active_inter_rules
+
+    rules = active_inter_rules()
+    # inter-resource-leak, inter-wal-order, epoch-protocol
+    assert len(rules) >= 3
+    assert len(rules) == len(INTER_RULES)
